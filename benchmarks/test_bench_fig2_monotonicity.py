@@ -1,0 +1,145 @@
+"""Fig. 2 + Example 1: ordering failures of non-RPC principal curves.
+
+Paper's claims to reproduce:
+
+* Fig. 2(a) — a polyline with an axis-parallel piece scores x1 =
+  (58, 1.4) and x2 = (58, 16.2) identically (non-strict monotonicity);
+* Fig. 2(b) — a non-monotone curve ties or mis-orders the pairs
+  (x3, x4) and (x5, x6);
+* an RPC-feasible cubic orders all three pairs strictly and
+  correctly, by construction.
+
+The benchmark times the violation-count sweep on a crescent cloud for
+the polyline / free-curve / RPC trio (violations > 0, > 0, == 0).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro import RankingPrincipalCurve
+from repro.core.order import RankingOrder
+from repro.core.projection import project_points
+from repro.data import example1_points, sample_crescent
+from repro.data.normalize import MinMaxNormalizer, normalize_unit_cube
+from repro.evaluation import count_order_violations
+from repro.geometry import BezierCurve, cubic_from_interior_points
+from repro.princurve import PolygonalLineCurve, project_to_polyline
+
+from conftest import emit, format_table
+
+
+def test_example1_pairs(benchmark):
+    pts = example1_points()
+    X = np.vstack(list(pts.values()))
+    norm = MinMaxNormalizer().fit(X)
+    U = {k: norm.transform(v[np.newaxis, :])[0] for k, v in pts.items()}
+
+    polyline = np.array([[0.0, 0.0], [0.45, 0.0], [1.0, 1.0]])
+    # A "general principal curve" shaped like Fig. 2(b): it overshoots
+    # past the right edge and hooks back, creating a vertical-tangent
+    # region where horizontally separated points project together.
+    hook = BezierCurve(
+        np.array([[0.0, 0.5, 1.5, 0.7], [0.0, 0.4, 0.7, 1.0]])
+    )
+    rpc_curve = cubic_from_interior_points(
+        np.array([1.0, 1.0]), p1=[0.15, 0.5], p2=[0.7, 0.85]
+    )
+
+    def score_all():
+        out = {}
+        for key, point in U.items():
+            p = point[np.newaxis, :]
+            out[key] = (
+                float(project_to_polyline(p, polyline)[0][0]),
+                float(project_points(hook, p)[0]),
+                float(project_points(rpc_curve, p)[0]),
+            )
+        return out
+
+    scores = benchmark(score_all)
+
+    rows = []
+    verdicts = {}
+    for worse, better in (("x1", "x2"), ("x3", "x4"), ("x5", "x6")):
+        for idx, model in enumerate(("polyline", "hook", "RPC")):
+            sw = scores[worse][idx]
+            sb = scores[better][idx]
+            ok = sb > sw + 1e-9
+            verdicts[(model, worse)] = ok
+            rows.append(
+                [model, f"{worse}<{better}", f"{sw:.4f}", f"{sb:.4f}",
+                 "ordered" if ok else "VIOLATED"]
+            )
+    emit(
+        "fig2_example1",
+        format_table(
+            ["model", "pair", "s(worse)", "s(better)", "verdict"],
+            rows,
+            "Fig. 2 / Example 1: pair orderings under three curve models",
+        ),
+    )
+
+    # Fig. 2(a): the polyline ties x1, x2 (both project onto the
+    # horizontal piece).
+    assert not verdicts[("polyline", "x1")]
+    # Fig. 2(b): the non-monotone hook mis-orders the (x5, x6) pair —
+    # x6 should rank higher but projects earlier on the curve.
+    assert not verdicts[("hook", "x5")]
+    # The RPC cubic orders every pair strictly.
+    assert all(verdicts[("RPC", w)] for w in ("x1", "x3", "x5"))
+
+
+def test_violation_sweep_on_crescent(benchmark):
+    cloud = sample_crescent(n=200, seed=15, width=0.05)
+    X = normalize_unit_cube(cloud.X)
+    order = RankingOrder(alpha=np.array([1.0, 1.0]))
+    alpha = np.array([1.0, 1.0])
+
+    poly = PolygonalLineCurve(n_vertices=8, orient_alpha=alpha).fit(X)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        rpc = RankingPrincipalCurve(
+            alpha=alpha, random_state=0, n_restarts=2
+        ).fit(cloud.X)
+
+    def count_all():
+        return (
+            count_order_violations(poly.score_samples, X, order),
+            count_order_violations(
+                rpc.score_samples, cloud.X, order, tie_tol=1e-9
+            ),
+        )
+
+    poly_summary, rpc_summary = benchmark.pedantic(
+        count_all, rounds=3, iterations=1
+    )
+
+    emit(
+        "fig2_violations",
+        format_table(
+            ["model", "inversions", "ties", "comparable pairs", "rate"],
+            [
+                [
+                    "polyline",
+                    poly_summary.n_inversions,
+                    poly_summary.n_ties,
+                    poly_summary.n_comparable_pairs,
+                    f"{poly_summary.violation_rate:.5f}",
+                ],
+                [
+                    "RPC",
+                    rpc_summary.n_inversions,
+                    rpc_summary.n_ties,
+                    rpc_summary.n_comparable_pairs,
+                    f"{rpc_summary.violation_rate:.5f}",
+                ],
+            ],
+            "Strict-monotonicity violations on a crescent cloud (n=200)",
+        ),
+    )
+
+    assert poly_summary.n_violations > 0
+    assert rpc_summary.n_inversions == 0

@@ -1,0 +1,75 @@
+"""Fig. 4: the four basic monotone shapes of constrained cubics.
+
+Paper's claim to reproduce: with end points in opposite corners and
+control points inside the unit square, a cubic Bezier realises four
+basic nonlinear monotone shapes (concave, convex, S, reverse-S) that
+mimic their control polylines — plus the exactly linear special case.
+The benchmark times dense evaluation + monotonicity certification of
+the whole gallery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import (
+    basic_shapes_2d,
+    empirical_monotonicity_violations,
+    linear_cubic,
+)
+
+from conftest import emit, format_table
+
+
+def test_fig4_shape_gallery(benchmark):
+    alpha = np.array([1.0, 1.0])
+    shapes = dict(basic_shapes_2d())
+    shapes["linear"] = linear_cubic(alpha)
+
+    def certify_all():
+        out = {}
+        for name, curve in shapes.items():
+            report = empirical_monotonicity_violations(
+                curve, alpha, n_samples=4096
+            )
+            pts = curve.evaluate(np.linspace(0, 1, 512))
+            # Signed area between the curve and the diagonal classifies
+            # the shape: positive = above (concave), negative = below.
+            gap = pts[1] - pts[0]
+            dx = np.diff(pts[0])
+            area = float(np.sum(0.5 * (gap[1:] + gap[:-1]) * dx))
+            out[name] = (
+                report.is_monotone,
+                area,
+                float(gap[128]),  # early gap
+                float(gap[384]),  # late gap
+            )
+        return out
+
+    results = benchmark(certify_all)
+
+    rows = []
+    for name, (monotone, area, early, late) in results.items():
+        rows.append(
+            [name, monotone, f"{area:+.4f}", f"{early:+.3f}", f"{late:+.3f}"]
+        )
+    emit(
+        "fig4_shapes",
+        format_table(
+            ["shape", "strictly monotone", "area vs diagonal",
+             "early gap", "late gap"],
+            rows,
+            "Fig. 4: basic monotone cubic shapes (certified + classified)",
+        ),
+    )
+
+    # Every gallery member is strictly monotone (Proposition 1).
+    assert all(v[0] for v in results.values())
+    # Shape signatures: concave above the diagonal, convex below.
+    assert results["concave"][1] > 0.02
+    assert results["convex"][1] < -0.02
+    # S-shape: above early, below late; reverse-S the other way.
+    assert results["s_shape"][2] > 0 and results["s_shape"][3] < 0
+    assert results["reverse_s"][2] < 0 and results["reverse_s"][3] > 0
+    # The linear member hugs the diagonal everywhere.
+    assert abs(results["linear"][1]) < 1e-9

@@ -1,0 +1,81 @@
+"""Fig. 7: two-dimensional displays of the country RPC.
+
+Paper's claims to reproduce:
+
+* the fitted curve, projected onto every attribute pair, tracks the
+  data cloud's skeleton (we check each panel's curve is monotone in
+  the direction prescribed by alpha);
+* GDP exhibits diminishing returns: the curve's LEB/IMR/TB response
+  per GDP dollar is far larger on the poor end than the rich end
+  (the paper's $14300 threshold reading).
+
+The benchmark times the full panel-series construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import COUNTRY_ATTRIBUTES
+from repro.data.normalize import MinMaxNormalizer
+from repro.viz import pairwise_panels
+
+from conftest import emit, format_table
+
+
+def test_fig7_pairwise_panels(benchmark, country_data, country_model):
+    data = country_data
+    model = country_model
+    normalizer = MinMaxNormalizer().fit(data.X)
+    X_unit = normalizer.transform(data.X)
+
+    panels = benchmark(
+        lambda: pairwise_panels(
+            X_unit,
+            model.curve_,
+            attribute_names=list(COUNTRY_ATTRIBUTES),
+        )
+    )
+
+    rows = []
+    for panel in panels:
+        monotone = panel.curve_is_monotone(
+            data.alpha[panel.i], data.alpha[panel.j]
+        )
+        spread = float(
+            np.linalg.norm(panel.curve[-1] - panel.curve[0])
+        )
+        rows.append(
+            [f"{panel.names[0]} vs {panel.names[1]}", monotone,
+             f"{spread:.3f}"]
+        )
+    emit(
+        "fig7_country_projections",
+        format_table(
+            ["panel", "curve monotone per alpha", "corner-to-corner span"],
+            rows,
+            "Fig. 7: country RPC projected onto all attribute pairs",
+        ),
+    )
+
+    # Every projected curve must be monotone in its panel (the visual
+    # signature of Fig. 7's red curves threading the green clouds).
+    assert all(
+        panel.curve_is_monotone(data.alpha[panel.i], data.alpha[panel.j])
+        for panel in panels
+    )
+    assert len(panels) == 6  # C(4, 2)
+
+    # Diminishing returns along GDP (paper's threshold observation).
+    s = np.linspace(0.0, 1.0, 201)
+    curve_orig = model.reconstruct(s)
+    gdp, leb = curve_orig[:, 0], curve_orig[:, 1]
+    lo_seg = gdp <= np.quantile(gdp, 0.2)
+    hi_seg = gdp >= np.quantile(gdp, 0.8)
+    slope_lo = (leb[lo_seg].max() - leb[lo_seg].min()) / max(
+        gdp[lo_seg].max() - gdp[lo_seg].min(), 1e-9
+    )
+    slope_hi = (leb[hi_seg].max() - leb[hi_seg].min()) / max(
+        gdp[hi_seg].max() - gdp[hi_seg].min(), 1e-9
+    )
+    assert slope_lo > 10.0 * slope_hi

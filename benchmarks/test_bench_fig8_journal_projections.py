@@ -1,0 +1,74 @@
+"""Fig. 8: two-dimensional displays of the journal RPC.
+
+Paper's claims to reproduce:
+
+* every projected curve panel is monotone increasing (all five
+  indicators are benefits);
+* 5-year IF is nearly linear with the frequency-count indicators
+  while the Eigenfactor column shows no clear relationship with them
+  (it is computed PageRank-style, not by frequency counting).
+
+The benchmark times the 10-panel series construction (C(5,2)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import JOURNAL_ATTRIBUTES
+from repro.data.normalize import MinMaxNormalizer
+from repro.viz import pairwise_panels
+
+from conftest import emit, format_table
+
+
+def test_fig8_pairwise_panels(benchmark, journal_data, journal_model):
+    data = journal_data
+    model = journal_model
+    normalizer = MinMaxNormalizer().fit(data.X)
+    X_unit = normalizer.transform(data.X)
+
+    panels = benchmark(
+        lambda: pairwise_panels(
+            X_unit,
+            model.curve_,
+            attribute_names=list(JOURNAL_ATTRIBUTES),
+        )
+    )
+    assert len(panels) == 10  # C(5, 2)
+
+    def data_corr(i: int, j: int) -> float:
+        return float(np.corrcoef(data.X[:, i], data.X[:, j])[0, 1])
+
+    rows = []
+    for panel in panels:
+        monotone = panel.curve_is_monotone(1.0, 1.0)
+        corr = data_corr(panel.i, panel.j)
+        rows.append(
+            [f"{panel.names[0]} vs {panel.names[1]}", monotone,
+             f"{corr:+.3f}"]
+        )
+    emit(
+        "fig8_journal_projections",
+        format_table(
+            ["panel", "curve monotone", "data correlation"],
+            rows,
+            "Fig. 8: journal RPC projected onto all indicator pairs",
+        ),
+    )
+
+    # All projected curves are monotone increasing.
+    assert all(panel.curve_is_monotone(1.0, 1.0) for panel in panels)
+
+    # 5IF is nearly linear with IF; Eigenfactor correlates far less
+    # with the frequency-count indicators (the paper's observation).
+    names = list(JOURNAL_ATTRIBUTES)
+    if_idx, fiveif_idx, eigen_idx = (
+        names.index("IF"),
+        names.index("5IF"),
+        names.index("Eigenfactor"),
+    )
+    assert data_corr(if_idx, fiveif_idx) > 0.9
+    assert abs(data_corr(if_idx, eigen_idx)) < data_corr(
+        if_idx, fiveif_idx
+    ) - 0.25

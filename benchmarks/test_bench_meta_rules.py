@@ -1,0 +1,121 @@
+"""Section 3 / Fig. 3: the meta-rule scoreboard across all approaches.
+
+The paper's qualitative framework — which ranking approaches satisfy
+which of the five meta-rules — is its motivating table (summarised in
+the Introduction and Section 3 discussion).  This benchmark runs the
+*executable* versions of the rules on every implemented approach and
+asserts the paper's verdicts:
+
+* RPC passes all five;
+* weighted summation and first PCA fail nonlinear capacity;
+* kernel PCA and the nonparametric principal curves fail explicitness;
+* the polyline fails smoothness;
+* rank aggregation fails capacity and (being positional) ties
+  dominated pairs that differ only within an attribute's tied block.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro import RankingPrincipalCurve
+from repro.baselines import (
+    FirstPCARanker,
+    KernelPCARanker,
+    ManifoldRanker,
+    MedianRankAggregator,
+    WeightedSumRanker,
+)
+from repro.core.meta_rules import (
+    check_capacity,
+    check_explicitness,
+    check_smoothness,
+    check_strict_monotonicity,
+)
+from repro.core.order import RankingOrder
+from repro.data import sample_crescent
+from repro.data.normalize import normalize_unit_cube
+from repro.princurve import (
+    ElasticMapCurve,
+    HastieStuetzleCurve,
+    PolygonalLineCurve,
+    TibshiraniCurve,
+)
+
+from conftest import emit, format_table
+
+
+def test_meta_rule_scoreboard(benchmark):
+    alpha = np.array([1.0, 1.0])
+    cloud = sample_crescent(n=180, seed=31, width=0.03)
+    X = normalize_unit_cube(cloud.X)
+    order = RankingOrder(alpha=alpha)
+
+    models = {
+        "RPC": RankingPrincipalCurve(alpha=alpha, random_state=0,
+                                     n_restarts=2),
+        "WSum": WeightedSumRanker(alpha=alpha),
+        "PCA": FirstPCARanker(alpha=alpha),
+        "kPCA": KernelPCARanker(alpha=alpha, gamma=5.0),
+        "RankAgg": MedianRankAggregator(alpha=alpha),
+        "Manifold": ManifoldRanker(alpha=alpha, sigma=0.15),
+        "HS": HastieStuetzleCurve(orient_alpha=alpha),
+        "Polyline": PolygonalLineCurve(n_vertices=8, orient_alpha=alpha),
+        "Elmap": ElasticMapCurve(orient_alpha=alpha),
+        "Tibshirani": TibshiraniCurve(orient_alpha=alpha),
+    }
+
+    def evaluate_all():
+        results = {}
+        rng = np.random.default_rng(7)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for name, model in models.items():
+                model.fit(X)
+                mono = check_strict_monotonicity(
+                    model.score_samples, X, order, score_tol=1e-9
+                )
+                smooth = check_smoothness(
+                    model.score_samples, X, rng, n_paths=12
+                )
+                capacity = check_capacity(model)
+                explicit = check_explicitness(model)
+                results[name] = (
+                    mono.passed,
+                    smooth.passed,
+                    capacity.passed,
+                    explicit.passed,
+                )
+        return results
+
+    results = benchmark.pedantic(evaluate_all, rounds=1, iterations=1)
+
+    rows = [
+        [name, *("pass" if flag else "FAIL" for flag in flags)]
+        for name, flags in results.items()
+    ]
+    emit(
+        "meta_rule_scoreboard",
+        format_table(
+            ["model", "strict monotonicity", "smoothness",
+             "lin+nonlin capacity", "explicit params"],
+            rows,
+            "Section 3 scoreboard: executable meta-rules on a crescent "
+            "cloud (invariance holds for all min-max pipelines; omitted)",
+        ),
+    )
+
+    # The paper's verdicts.
+    assert results["RPC"] == (True, True, True, True)
+    assert not results["WSum"][2]  # no nonlinear capacity
+    assert not results["PCA"][2]
+    assert not results["kPCA"][3]  # no explicit parameter size
+    assert not results["HS"][3]
+    assert not results["Elmap"][3]
+    assert not results["Tibshirani"][3]
+    assert not results["Polyline"][1]  # kinks
+    assert not results["RankAgg"][2]
+    # Monotone linear scorers never invert dominated pairs.
+    assert results["WSum"][0]

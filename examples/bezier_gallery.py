@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Fig. 4 gallery: the four basic monotone cubic Bezier shapes.
+
+Renders the concave, convex, S and reverse-S shapes of Fig. 4 with
+their control polylines, verifies each satisfies the Proposition 1
+monotonicity certificate empirically, and demonstrates the Fig. 2
+failure modes on the Example 1 points: a polyline ranking rule ties
+x1/x2, a non-monotone curve mis-orders x3/x4 — while every
+RPC-feasible cubic orders all three pairs correctly.
+
+Run:  python examples/bezier_gallery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.projection import project_points
+from repro.data import example1_points
+from repro.data.normalize import MinMaxNormalizer
+from repro.geometry import (
+    BezierCurve,
+    basic_shapes_2d,
+    empirical_monotonicity_violations,
+)
+from repro.princurve import project_to_polyline
+from repro.viz import ascii_scatter
+
+
+def main() -> None:
+    alpha = np.array([1.0, 1.0])
+
+    print("=== Fig. 4: the four basic monotone cubic shapes ===")
+    for name, curve in basic_shapes_2d().items():
+        report = empirical_monotonicity_violations(curve, alpha)
+        pts = curve.evaluate(np.linspace(0, 1, 400)).T
+        poly = curve.control_points.T
+        print(
+            ascii_scatter(
+                poly,
+                curve=pts,
+                width=46,
+                height=13,
+                point_char="o",
+                title=(
+                    f"{name}  (control points 'o', curve '#', "
+                    f"monotone={report.is_monotone})"
+                ),
+            )
+        )
+        print()
+
+    print("=== Fig. 2 / Example 1: failure modes on country points ===")
+    pts = example1_points()
+    # Normalise the six illustration points jointly.
+    X = np.vstack(list(pts.values()))
+    norm = MinMaxNormalizer().fit(X)
+    U = {k: norm.transform(v[np.newaxis, :])[0] for k, v in pts.items()}
+
+    # (a) A polyline with a horizontal piece (Fig. 2(a)).
+    polyline = np.array([[0.0, 0.0], [0.45, 0.0], [1.0, 1.0]])
+    s1, _ = project_to_polyline(U["x1"][np.newaxis, :], polyline)
+    s2, _ = project_to_polyline(U["x2"][np.newaxis, :], polyline)
+    print(f"polyline scores: x1={s1[0]:.4f}  x2={s2[0]:.4f}  "
+          f"-> {'TIED (non-strict!)' if abs(s1[0]-s2[0]) < 1e-9 else 'ordered'}")
+
+    # (b) A non-monotone "hook" curve (Fig. 2(b)): x backtracks, so two
+    # points at the same x with different quality can project together.
+    hook = BezierCurve(
+        np.array([[0.0, 1.3, -0.3, 1.0], [0.0, 0.1, 0.9, 1.0]])
+    )
+    hook_report = empirical_monotonicity_violations(hook, alpha)
+    s3 = project_points(hook, U["x3"][np.newaxis, :])[0]
+    s4 = project_points(hook, U["x4"][np.newaxis, :])[0]
+    print(f"hook curve monotone: {hook_report.is_monotone}")
+    print(f"hook scores: x3={s3:.4f}  x4={s4:.4f}  "
+          f"-> {'x4 NOT ranked above x3!' if s4 <= s3 + 1e-6 else 'ordered correctly'}")
+
+    # (c) Any RPC-feasible cubic orders all three pairs strictly.
+    from repro.geometry import cubic_from_interior_points
+
+    rpc_curve = cubic_from_interior_points(
+        alpha, p1=[0.15, 0.5], p2=[0.7, 0.85]
+    )
+    print("\nRPC-feasible cubic on the same pairs:")
+    for worse, better in (("x1", "x2"), ("x3", "x4"), ("x5", "x6")):
+        sw = project_points(rpc_curve, U[worse][np.newaxis, :])[0]
+        sb = project_points(rpc_curve, U[better][np.newaxis, :])[0]
+        verdict = "OK" if sb > sw else "VIOLATION"
+        print(f"  {worse}={sw:.4f}  {better}={sb:.4f}  [{verdict}]")
+
+    print("\nStrict monotonicity is not cosmetic: it is the property that "
+          "makes these orderings come out right by construction.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro — Ranking Principal Curves for unsupervised multi-attribute ranking.
+
+A faithful, from-scratch reproduction of Li, Mei & Hu, *Unsupervised
+Ranking of Multi-Attribute Objects Based on Principal Curves*.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import RankingPrincipalCurve
+>>> from repro.data import sample_monotone_cloud
+>>> cloud = sample_monotone_cloud(alpha=[1, 1, -1], n=150, seed=3)
+>>> model = RankingPrincipalCurve(alpha=[1, 1, -1], random_state=0)
+>>> ranking = model.fit_rank(cloud.X)
+>>> len(ranking.order)
+150
+"""
+
+from repro.core import (
+    MetaRuleReport,
+    RankingList,
+    RankingOrder,
+    RankingPrincipalCurve,
+    assess_ranking_model,
+    build_ranking_list,
+    order_from_sets,
+)
+from repro.geometry import BezierCurve
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BezierCurve",
+    "MetaRuleReport",
+    "RankingList",
+    "RankingOrder",
+    "RankingPrincipalCurve",
+    "assess_ranking_model",
+    "build_ranking_list",
+    "order_from_sets",
+    "__version__",
+]

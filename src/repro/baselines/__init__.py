@@ -1,0 +1,38 @@
+"""Baseline rankers the paper compares against or positions RPC beside.
+
+* :mod:`repro.baselines.pca` — first-PCA and kernel-PCA ranking.
+* :mod:`repro.baselines.weighted_sum` — expert-weighted summation.
+* :mod:`repro.baselines.rank_aggregation` — median rank (Eq.(30)) and
+  Borda count.
+* :mod:`repro.baselines.pagerank` — the link-structure contrast.
+"""
+
+from repro.baselines.manifold_ranking import (
+    ManifoldRanker,
+    affinity_matrix,
+    manifold_ranking_scores,
+    normalized_affinity,
+)
+from repro.baselines.pagerank import PageRankResult, pagerank
+from repro.baselines.pca import FirstPCARanker, KernelPCARanker
+from repro.baselines.rank_aggregation import (
+    BordaCountAggregator,
+    MedianRankAggregator,
+    attribute_rankings,
+)
+from repro.baselines.weighted_sum import WeightedSumRanker
+
+__all__ = [
+    "BordaCountAggregator",
+    "FirstPCARanker",
+    "KernelPCARanker",
+    "ManifoldRanker",
+    "MedianRankAggregator",
+    "PageRankResult",
+    "WeightedSumRanker",
+    "affinity_matrix",
+    "attribute_rankings",
+    "manifold_ranking_scores",
+    "normalized_affinity",
+    "pagerank",
+]

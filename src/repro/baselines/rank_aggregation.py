@@ -1,0 +1,151 @@
+"""Rank-aggregation baselines: median rank and Borda count.
+
+Section 6.1 contrasts RPC with median rank aggregation (Dwork et al.,
+2001): each attribute induces its own ranking list, and the aggregate
+position of an object is the mean of its per-attribute positions
+(Eq.(30)).  The method discards the numeric observations, so it cannot
+separate objects whose average positions tie (Table 1's A and B) and
+it is insensitive to perturbations that do not change any per-attribute
+order (Table 1(b)'s A').  Borda count — the classic positional
+aggregation rule — is included as a second aggregator with the same
+structural blindness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.exceptions import DataValidationError
+from repro.geometry.cubic import validate_direction_vector
+
+
+def attribute_rankings(X: np.ndarray, alpha: np.ndarray) -> np.ndarray:
+    """Per-attribute 1-based positions ``tau_j(i)`` of every object.
+
+    Following the Table 1 convention, attribute ``j`` ranks objects by
+    ``alpha_j * x_j`` *ascending*: position 1 is the worst object on
+    that attribute and position ``n`` the best, so the aggregate
+    ``kappa`` of Eq.(30) is larger for better objects (Table 1 gives
+    C — the best object — the largest value, 3).  Tied values receive
+    the mean of the positions they straddle (midrank), the standard
+    convention for rank statistics.
+
+    Returns
+    -------
+    Array of shape ``(n, d)``; entry ``[i, j]`` is object ``i``'s
+    position in attribute ``j``'s list.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise DataValidationError(f"X must be 2-D, got ndim={X.ndim}")
+    alpha = validate_direction_vector(alpha, d=X.shape[1])
+    n, d = X.shape
+    positions = np.empty((n, d))
+    for j in range(d):
+        keyed = alpha[j] * X[:, j]
+        positions[:, j] = _midrank_ascending(keyed)
+    return positions
+
+
+def _midrank_ascending(values: np.ndarray) -> np.ndarray:
+    """1-based positions of values ranked ascending, ties -> midranks."""
+    values = np.asarray(values, dtype=float)
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size)
+    sorted_vals = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        midrank = 0.5 * (i + j) + 1.0  # mean of 1-based positions i+1..j+1
+        ranks[order[i : j + 1]] = midrank
+        i = j + 1
+    return ranks
+
+
+class MedianRankAggregator:
+    """Median (mean-position) rank aggregation, Eq.(30).
+
+    The aggregate "score" ``kappa(i)`` is the mean of object ``i``'s
+    per-attribute positions.  With the ascending Table 1 convention
+    (position 1 = worst on an attribute) a *higher* ``kappa`` means a
+    better object, so :meth:`score_samples` returns ``kappa`` directly.
+    """
+
+    def __init__(self, alpha: np.ndarray):
+        self.alpha = validate_direction_vector(np.asarray(alpha, dtype=float))
+
+    def fit(self, X: np.ndarray) -> "MedianRankAggregator":
+        """Stateless: aggregation happens per-dataset at scoring time."""
+        return self
+
+    def aggregate_positions(self, X: np.ndarray) -> np.ndarray:
+        """The raw ``kappa(i)`` values of Eq.(30) (higher is better)."""
+        positions = attribute_rankings(X, self.alpha)
+        return positions.mean(axis=1)
+
+    def score_samples(self, X: np.ndarray) -> np.ndarray:
+        """Mean positions ``kappa`` — already higher-is-better."""
+        return self.aggregate_positions(X)
+
+    # ------------------------------------------------------------------
+    # Meta-rule capability declarations
+    # ------------------------------------------------------------------
+    @property
+    def has_linear_capacity(self) -> bool:
+        """Positions destroy the numeric structure; no functional form."""
+        return False
+
+    @property
+    def has_nonlinear_capacity(self) -> bool:
+        """Aggregation has no notion of an attribute–score function."""
+        return False
+
+    @property
+    def parameter_size(self) -> Optional[int]:
+        """Parameter-free, hence explicit with size zero."""
+        return 0
+
+
+class BordaCountAggregator:
+    """Borda count: each attribute awards one point per beaten rival.
+
+    With the ascending position convention an object at position ``p``
+    beats ``p − 1`` rivals on that attribute, so its Borda points are
+    ``sum_j (tau_j(i) − 1)``.  Equivalent to median rank up to an
+    affine transform on complete lists, but stated in the classical
+    voting form.  Shares all of the aggregation family's meta-rule
+    failures.
+    """
+
+    def __init__(self, alpha: np.ndarray):
+        self.alpha = validate_direction_vector(np.asarray(alpha, dtype=float))
+
+    def fit(self, X: np.ndarray) -> "BordaCountAggregator":
+        """Stateless."""
+        return self
+
+    def score_samples(self, X: np.ndarray) -> np.ndarray:
+        """Total Borda points per object (higher is better)."""
+        X = np.asarray(X, dtype=float)
+        positions = attribute_rankings(X, self.alpha)
+        return (positions - 1.0).sum(axis=1)
+
+    # ------------------------------------------------------------------
+    @property
+    def has_linear_capacity(self) -> bool:
+        """No functional attribute–score form."""
+        return False
+
+    @property
+    def has_nonlinear_capacity(self) -> bool:
+        """No functional attribute–score form."""
+        return False
+
+    @property
+    def parameter_size(self) -> Optional[int]:
+        """Parameter-free."""
+        return 0

@@ -1,0 +1,109 @@
+"""Core of the reproduction: the RPC model and its supporting theory.
+
+* :mod:`repro.core.order` — the ranking order of Eq.(1)–(3).
+* :mod:`repro.core.meta_rules` — Section 3's five meta-rules as
+  executable assessments.
+* :mod:`repro.core.rpc` — :class:`RankingPrincipalCurve`, the public
+  estimator.
+* :mod:`repro.core.learning` — Algorithm 1 (alternating minimisation).
+* :mod:`repro.core.projection` — Eq.(20) solvers.
+* :mod:`repro.core.scoring` — ranking-list construction.
+* :mod:`repro.core.exceptions` — error hierarchy.
+"""
+
+from repro.core.feature_selection import (
+    AttributeImportance,
+    FeatureSelectionResult,
+    attribute_importances,
+    select_features,
+)
+from repro.core.inverse import (
+    DualityReport,
+    InverseRankingFunction,
+    gradient_is_positive,
+    verify_inverse_duality,
+)
+from repro.core.model_selection import (
+    DegreeCandidate,
+    DegreeSelectionResult,
+    RestartStudy,
+    restart_budget_study,
+    select_degree,
+)
+from repro.core.exceptions import (
+    ConfigurationError,
+    ConvergenceWarning,
+    DataValidationError,
+    MonotonicityError,
+    NotFittedError,
+    ReproError,
+)
+from repro.core.learning import (
+    FitResult,
+    LearningTrace,
+    fit_rpc_curve,
+    initialize_control_points,
+    objective_value,
+)
+from repro.core.meta_rules import (
+    MetaRuleReport,
+    RuleCheck,
+    assess_ranking_model,
+    check_capacity,
+    check_explicitness,
+    check_invariance,
+    check_smoothness,
+    check_strict_monotonicity,
+)
+from repro.core.order import RankingOrder, order_from_sets
+from repro.core.projection import (
+    project_points,
+    stationary_polynomial,
+    stationary_residual,
+)
+from repro.core.rpc import RankingPrincipalCurve
+from repro.core.scoring import RankingList, build_ranking_list, rescale_scores
+
+__all__ = [
+    "AttributeImportance",
+    "ConfigurationError",
+    "ConvergenceWarning",
+    "DataValidationError",
+    "FitResult",
+    "LearningTrace",
+    "MetaRuleReport",
+    "MonotonicityError",
+    "DegreeCandidate",
+    "DegreeSelectionResult",
+    "DualityReport",
+    "FeatureSelectionResult",
+    "InverseRankingFunction",
+    "NotFittedError",
+    "RankingList",
+    "RestartStudy",
+    "RankingOrder",
+    "RankingPrincipalCurve",
+    "ReproError",
+    "RuleCheck",
+    "assess_ranking_model",
+    "attribute_importances",
+    "build_ranking_list",
+    "check_capacity",
+    "check_explicitness",
+    "check_invariance",
+    "check_smoothness",
+    "check_strict_monotonicity",
+    "fit_rpc_curve",
+    "gradient_is_positive",
+    "initialize_control_points",
+    "objective_value",
+    "order_from_sets",
+    "project_points",
+    "rescale_scores",
+    "restart_budget_study",
+    "select_degree",
+    "select_features",
+    "stationary_polynomial",
+    "stationary_residual",
+    "verify_inverse_duality",
+]

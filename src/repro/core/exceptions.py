@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch a single base class.  The
+subclasses mirror the phases of an unsupervised-ranking workflow:
+validating input data, configuring a model, fitting it, and asking a
+model for output before it has been fitted.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class DataValidationError(ReproError, ValueError):
+    """Raised when input data fails structural validation.
+
+    Examples include a data matrix that is not two-dimensional, contains
+    NaN/inf entries, or whose number of columns disagrees with the
+    direction vector supplied for the ranking task.
+    """
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Raised when a model is configured with inconsistent parameters.
+
+    Examples include a Bezier degree below one, a direction vector with
+    entries other than ``+1``/``-1``, or a tolerance that is not
+    positive.
+    """
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """Raised when a model is used before :meth:`fit` has been called."""
+
+    def __init__(self, model_name: str):
+        super().__init__(
+            f"{model_name} has not been fitted yet; call fit(X) before "
+            "requesting scores, ranks or curve evaluations."
+        )
+
+
+class ConvergenceWarning(UserWarning):
+    """Warning emitted when an iterative solver stops before convergence."""
+
+
+class MonotonicityError(ReproError, ValueError):
+    """Raised when a curve violates the strict-monotonicity contract.
+
+    The RPC model guarantees strict monotonicity by construction; this
+    error is raised when externally supplied control points (for example
+    via :class:`repro.geometry.BezierCurve`) break the constraint that
+    interior control points lie strictly inside the unit hypercube.
+    """

@@ -1,0 +1,219 @@
+"""Model selection for the RPC: degree choice and restart policy.
+
+Section 4.2 fixes ``k = 3`` by argument ("k > 3 ... overfitting;
+k < 3 ... too simple to represent all possible monotonic curves").
+This module turns the argument into a procedure: cross-validated
+selection of the Bezier degree by held-out reconstruction error, plus
+a restart-budget study that quantifies how many random initialisations
+Algorithm 1 needs before the objective stops improving.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError, DataValidationError
+from repro.core.learning import fit_rpc_curve
+from repro.core.projection import project_points
+from repro.data.normalize import MinMaxNormalizer
+from repro.geometry.cubic import validate_direction_vector
+
+
+@dataclass
+class DegreeCandidate:
+    """Cross-validation summary for one Bezier degree.
+
+    Attributes
+    ----------
+    degree:
+        The candidate ``k``.
+    train_error:
+        Mean per-point squared training residual across folds.
+    validation_error:
+        Mean per-point squared held-out residual across folds.
+    """
+
+    degree: int
+    train_error: float
+    validation_error: float
+
+
+@dataclass
+class DegreeSelectionResult:
+    """Outcome of :func:`select_degree`.
+
+    Attributes
+    ----------
+    best_degree:
+        Candidate with the lowest validation error (ties break toward
+        the *smaller* degree — the explicitness meta-rule prefers
+        fewer parameters).
+    candidates:
+        All evaluated candidates, ascending by degree.
+    """
+
+    best_degree: int
+    candidates: list[DegreeCandidate]
+
+
+def _kfold_indices(n: int, n_folds: int, rng: np.random.Generator):
+    order = rng.permutation(n)
+    folds = np.array_split(order, n_folds)
+    for i in range(n_folds):
+        val = folds[i]
+        train = np.concatenate([folds[j] for j in range(n_folds) if j != i])
+        yield train, val
+
+
+def select_degree(
+    X: np.ndarray,
+    alpha: Sequence[float],
+    degrees: Sequence[int] = (1, 2, 3, 4, 5),
+    n_folds: int = 3,
+    random_state: int = 0,
+    tolerance: float = 0.05,
+) -> DegreeSelectionResult:
+    """Pick the Bezier degree by k-fold held-out reconstruction error.
+
+    Parameters
+    ----------
+    X:
+        Raw observations, shape ``(n, d)``.
+    alpha:
+        Direction vector.
+    degrees:
+        Candidate degrees.
+    n_folds:
+        Cross-validation folds (each fold must keep >= 4 points).
+    random_state:
+        Seed of the fold shuffling.
+    tolerance:
+        Relative slack for the parsimony rule: the chosen degree is
+        the *smallest* whose validation error is within
+        ``(1 + tolerance)`` of the overall minimum, honouring the
+        explicitness meta-rule.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise DataValidationError(f"X must be 2-D, got ndim={X.ndim}")
+    alpha = validate_direction_vector(np.asarray(alpha, dtype=float), d=X.shape[1])
+    if n_folds < 2:
+        raise ConfigurationError(f"n_folds must be >= 2, got {n_folds}")
+    if X.shape[0] < 4 * n_folds:
+        raise DataValidationError(
+            f"need at least {4 * n_folds} rows for {n_folds}-fold CV, got "
+            f"{X.shape[0]}"
+        )
+    degrees = sorted(set(int(k) for k in degrees))
+    if any(k < 1 for k in degrees):
+        raise ConfigurationError(f"degrees must be >= 1, got {degrees}")
+
+    rng = np.random.default_rng(random_state)
+    fold_list = list(_kfold_indices(X.shape[0], n_folds, rng))
+
+    candidates = []
+    for k in degrees:
+        train_errs = []
+        val_errs = []
+        for train_idx, val_idx in fold_list:
+            normalizer = MinMaxNormalizer().fit(X[train_idx])
+            U_train = normalizer.transform(X[train_idx])
+            U_val = normalizer.transform(X[val_idx])
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                result = fit_rpc_curve(
+                    U_train,
+                    alpha,
+                    degree=k,
+                    init="linear",
+                    inner_updates=32,
+                )
+            train_errs.append(
+                result.trace.final_objective / len(train_idx)
+            )
+            s_val = project_points(result.curve, U_val)
+            residual = result.curve.projection_residuals(U_val, s_val)
+            val_errs.append(float(np.sum(residual**2)) / len(val_idx))
+        candidates.append(
+            DegreeCandidate(
+                degree=k,
+                train_error=float(np.mean(train_errs)),
+                validation_error=float(np.mean(val_errs)),
+            )
+        )
+
+    best_val = min(c.validation_error for c in candidates)
+    best_degree = next(
+        c.degree
+        for c in candidates
+        if c.validation_error <= best_val * (1.0 + tolerance)
+    )
+    return DegreeSelectionResult(
+        best_degree=best_degree, candidates=candidates
+    )
+
+
+@dataclass
+class RestartStudy:
+    """Outcome of :func:`restart_budget_study`.
+
+    Attributes
+    ----------
+    objectives:
+        Final objective of each independent restart, in run order.
+    best_after:
+        ``best_after[r]`` is the best objective among the first
+        ``r + 1`` restarts — the diminishing-returns curve.
+    recommended:
+        Smallest restart count whose best objective is within 1% of
+        the overall best.
+    """
+
+    objectives: list[float]
+    best_after: list[float]
+    recommended: int
+
+
+def restart_budget_study(
+    X: np.ndarray,
+    alpha: Sequence[float],
+    n_restarts: int = 8,
+    random_state: int = 0,
+) -> RestartStudy:
+    """Quantify how many random initialisations Algorithm 1 needs.
+
+    Runs ``n_restarts`` independent fits with random control-point
+    initialisations and reports the running best objective.
+    """
+    X = np.asarray(X, dtype=float)
+    alpha = validate_direction_vector(np.asarray(alpha, dtype=float), d=X.shape[1])
+    if n_restarts < 1:
+        raise ConfigurationError(f"n_restarts must be >= 1, got {n_restarts}")
+    normalizer = MinMaxNormalizer().fit(X)
+    U = normalizer.transform(X)
+    rng = np.random.default_rng(random_state)
+    objectives = []
+    for _ in range(n_restarts):
+        child = np.random.default_rng(rng.integers(0, 2**63 - 1))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = fit_rpc_curve(
+                U, alpha, init="random", rng=child, inner_updates=32
+            )
+        objectives.append(float(result.trace.final_objective))
+    best_after = list(np.minimum.accumulate(objectives))
+    overall_best = best_after[-1]
+    recommended = next(
+        r + 1
+        for r, value in enumerate(best_after)
+        if value <= overall_best * 1.01
+    )
+    return RestartStudy(
+        objectives=objectives,
+        best_after=best_after,
+        recommended=recommended,
+    )

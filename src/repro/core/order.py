@@ -1,0 +1,183 @@
+"""The total order on ``R^d`` used by ranking tasks (Eq.(1)–(3)).
+
+A ranking task fixes a direction vector ``alpha in {-1, +1}^d``
+partitioning the attributes into the "benefit" set ``E`` (``alpha_j =
++1``: larger is better, e.g. GDP) and the "cost" set ``F`` (``alpha_j =
+-1``: smaller is better, e.g. infant mortality).  Point ``x`` precedes
+point ``y`` — written ``x ⪯ y`` — when every signed coordinate
+difference ``delta_j (y_j - x_j)`` is non-negative.
+
+Note the relation defined by Eq.(1) is, strictly speaking, the
+componentwise (product) order after sign-flipping the cost attributes:
+it is reflexive, antisymmetric and transitive, but two points may be
+*incomparable* (one better on some attributes, worse on others).  The
+paper calls it a total order because the *score* assigned by a strictly
+monotone ranking function embeds it into the genuinely total order of
+``R``.  This module implements the raw relation, comparability queries,
+Pareto-front extraction and chain checks, all of which the evaluation
+layer uses to count order violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError, DataValidationError
+from repro.geometry.cubic import validate_direction_vector
+
+
+@dataclass(frozen=True)
+class RankingOrder:
+    """The order relation of a ranking task.
+
+    Parameters
+    ----------
+    alpha:
+        Direction vector of Eq.(3); entry ``+1`` marks a benefit
+        attribute (set ``E``), ``-1`` a cost attribute (set ``F``).
+    """
+
+    alpha: np.ndarray = field()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "alpha", validate_direction_vector(self.alpha)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        """Number of attributes the order is defined over."""
+        return int(self.alpha.size)
+
+    @property
+    def benefit_attributes(self) -> np.ndarray:
+        """Indices of the set ``E`` (larger is better)."""
+        return np.nonzero(self.alpha > 0)[0]
+
+    @property
+    def cost_attributes(self) -> np.ndarray:
+        """Indices of the set ``F`` (smaller is better)."""
+        return np.nonzero(self.alpha < 0)[0]
+
+    # ------------------------------------------------------------------
+    def _validate_pair(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        x = np.asarray(x, dtype=float).ravel()
+        y = np.asarray(y, dtype=float).ravel()
+        if x.size != self.dimension or y.size != self.dimension:
+            raise DataValidationError(
+                f"points must have {self.dimension} attributes, got "
+                f"{x.size} and {y.size}"
+            )
+        return x, y
+
+    def precedes(self, x: np.ndarray, y: np.ndarray) -> bool:
+        """``x ⪯ y`` under Eq.(1): y is at least as good on every attribute."""
+        x, y = self._validate_pair(x, y)
+        return bool(np.all(self.alpha * (y - x) >= 0.0))
+
+    def strictly_precedes(self, x: np.ndarray, y: np.ndarray) -> bool:
+        """``x ⪯ y`` and ``x != y`` — y dominates x."""
+        x, y = self._validate_pair(x, y)
+        diff = self.alpha * (y - x)
+        return bool(np.all(diff >= 0.0) and np.any(diff > 0.0))
+
+    def comparable(self, x: np.ndarray, y: np.ndarray) -> bool:
+        """Whether ``x ⪯ y`` or ``y ⪯ x`` holds."""
+        return self.precedes(x, y) or self.precedes(y, x)
+
+    # ------------------------------------------------------------------
+    def dominance_matrix(self, X: np.ndarray) -> np.ndarray:
+        """Boolean matrix ``D[i, j] = (x_i ⪯ x_j)`` for all row pairs.
+
+        Vectorised over the whole dataset; used by the evaluation layer
+        to count strict-monotonicity violations of a scoring function in
+        ``O(n^2 d)``.
+        """
+        X = self._validate_matrix(X)
+        signed = X * self.alpha[np.newaxis, :]
+        # precedes(i, j) iff signed[j] - signed[i] >= 0 componentwise.
+        diff = signed[np.newaxis, :, :] - signed[:, np.newaxis, :]
+        return np.all(diff >= 0.0, axis=2)
+
+    def strict_dominance_matrix(self, X: np.ndarray) -> np.ndarray:
+        """Boolean matrix ``D[i, j] = (x_i ⪯ x_j and x_i != x_j)``."""
+        X = self._validate_matrix(X)
+        signed = X * self.alpha[np.newaxis, :]
+        diff = signed[np.newaxis, :, :] - signed[:, np.newaxis, :]
+        weak = np.all(diff >= 0.0, axis=2)
+        some = np.any(diff > 0.0, axis=2)
+        return weak & some
+
+    def pareto_front(self, X: np.ndarray) -> np.ndarray:
+        """Indices of rows not strictly dominated by any other row.
+
+        These are the maximal elements of the dataset under the task
+        order — the candidates no other object beats outright.
+        """
+        strict = self.strict_dominance_matrix(X)
+        # strict[i, j] is True when x_i strictly precedes x_j, i.e. x_j
+        # beats x_i; row i is dominated when any such j exists.
+        dominated = np.any(strict, axis=1)
+        return np.nonzero(~dominated)[0]
+
+    def is_chain(self, X: np.ndarray) -> bool:
+        """Whether every pair of rows is comparable (a totally ordered chain)."""
+        X = self._validate_matrix(X)
+        dom = self.dominance_matrix(X)
+        return bool(np.all(dom | dom.T))
+
+    def comparable_pairs(self, X: np.ndarray) -> Iterator[tuple[int, int]]:
+        """Yield index pairs ``(i, j)`` with ``x_i`` strictly preceding ``x_j``."""
+        strict = self.strict_dominance_matrix(X)
+        rows, cols = np.nonzero(strict)
+        for i, j in zip(rows.tolist(), cols.tolist()):
+            yield i, j
+
+    # ------------------------------------------------------------------
+    def _validate_matrix(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise DataValidationError(f"X must be 2-D, got ndim={X.ndim}")
+        if X.shape[1] != self.dimension:
+            raise DataValidationError(
+                f"X has {X.shape[1]} attributes but the order expects "
+                f"{self.dimension}"
+            )
+        if not np.all(np.isfinite(X)):
+            raise DataValidationError("X contains NaN or inf entries")
+        return X
+
+
+def order_from_sets(
+    d: int,
+    benefit: Sequence[int] = (),
+    cost: Sequence[int] = (),
+) -> RankingOrder:
+    """Build a :class:`RankingOrder` from explicit ``E``/``F`` index sets.
+
+    Exactly mirrors Eq.(2): every attribute index must appear in exactly
+    one of ``benefit`` (``E``) or ``cost`` (``F``).
+    """
+    if d <= 0:
+        raise ConfigurationError(f"dimension must be positive, got {d}")
+    benefit_set = set(int(j) for j in benefit)
+    cost_set = set(int(j) for j in cost)
+    if benefit_set & cost_set:
+        raise ConfigurationError(
+            f"attributes {sorted(benefit_set & cost_set)} appear in both "
+            "benefit and cost sets"
+        )
+    if benefit_set | cost_set != set(range(d)):
+        missing = set(range(d)) - (benefit_set | cost_set)
+        extra = (benefit_set | cost_set) - set(range(d))
+        raise ConfigurationError(
+            f"benefit/cost sets must partition 0..{d-1}; missing={sorted(missing)}, "
+            f"out-of-range={sorted(extra)}"
+        )
+    alpha = np.ones(d)
+    alpha[sorted(cost_set)] = -1.0
+    return RankingOrder(alpha=alpha)

@@ -1,0 +1,206 @@
+"""CSV input/output for ranking tasks.
+
+A downstream user's data arrives as a CSV with one header row, a label
+column and numeric attribute columns.  This module reads such files
+into the library's ``(labels, X, attribute_names)`` form, writes
+ranking lists back out, and round-trips the bundled datasets — all on
+the standard library's :mod:`csv`, no pandas required.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError, DataValidationError
+from repro.core.scoring import RankingList
+
+
+@dataclass
+class TabularData:
+    """A labelled numeric table loaded from CSV.
+
+    Attributes
+    ----------
+    labels:
+        Row identifiers from the label column.
+    X:
+        Numeric observations, shape ``(n, d)``.
+    attribute_names:
+        Column headers of the attribute columns, in order.
+    """
+
+    labels: list[str]
+    X: np.ndarray
+    attribute_names: list[str]
+
+
+def load_csv(
+    path: str | pathlib.Path,
+    label_column: Optional[str] = None,
+    attribute_columns: Optional[Sequence[str]] = None,
+    delimiter: str = ",",
+) -> TabularData:
+    """Read a headered CSV into a :class:`TabularData`.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    label_column:
+        Header of the identifier column; defaults to the first column.
+    attribute_columns:
+        Headers to use as attributes, in order; defaults to every
+        non-label column.
+    delimiter:
+        Field separator.
+
+    Raises
+    ------
+    DataValidationError:
+        On missing headers, non-numeric cells, or ragged rows.
+    """
+    path = pathlib.Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataValidationError(f"{path} is empty") from None
+        rows = [row for row in reader if row and any(c.strip() for c in row)]
+
+    header = [h.strip() for h in header]
+    if label_column is None:
+        label_column = header[0]
+    if label_column not in header:
+        raise DataValidationError(
+            f"label column {label_column!r} not in header {header}"
+        )
+    label_idx = header.index(label_column)
+
+    if attribute_columns is None:
+        attribute_columns = [h for h in header if h != label_column]
+    missing = [c for c in attribute_columns if c not in header]
+    if missing:
+        raise DataValidationError(
+            f"attribute columns {missing} not in header {header}"
+        )
+    if not attribute_columns:
+        raise DataValidationError("no attribute columns to load")
+    attr_idx = [header.index(c) for c in attribute_columns]
+
+    labels = []
+    data = []
+    for line_no, row in enumerate(rows, start=2):
+        if len(row) != len(header):
+            raise DataValidationError(
+                f"{path}:{line_no}: expected {len(header)} fields, got "
+                f"{len(row)}"
+            )
+        labels.append(row[label_idx].strip())
+        try:
+            data.append([float(row[i]) for i in attr_idx])
+        except ValueError as exc:
+            raise DataValidationError(
+                f"{path}:{line_no}: non-numeric attribute value ({exc})"
+            ) from None
+    if not data:
+        raise DataValidationError(f"{path} has a header but no data rows")
+    return TabularData(
+        labels=labels,
+        X=np.asarray(data, dtype=float),
+        attribute_names=list(attribute_columns),
+    )
+
+
+def save_csv(
+    path: str | pathlib.Path,
+    labels: Sequence[str],
+    X: np.ndarray,
+    attribute_names: Sequence[str],
+    label_column: str = "label",
+    delimiter: str = ",",
+) -> None:
+    """Write a labelled numeric table as a headered CSV."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise DataValidationError(f"X must be 2-D, got ndim={X.ndim}")
+    if len(labels) != X.shape[0]:
+        raise DataValidationError(
+            f"{len(labels)} labels for {X.shape[0]} rows"
+        )
+    if len(attribute_names) != X.shape[1]:
+        raise DataValidationError(
+            f"{len(attribute_names)} attribute names for {X.shape[1]} columns"
+        )
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow([label_column, *attribute_names])
+        for label, row in zip(labels, X):
+            writer.writerow([label, *(repr(float(v)) for v in row)])
+
+
+def save_ranking_csv(
+    path: str | pathlib.Path,
+    ranking: RankingList,
+    delimiter: str = ",",
+) -> None:
+    """Write a ranking list (best first) as ``position,label,score``."""
+    if ranking.labels is None:
+        raise ConfigurationError(
+            "ranking list has no labels; build it with labels to save"
+        )
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(["position", "label", "score"])
+        for idx in ranking.order:
+            writer.writerow(
+                [
+                    int(ranking.positions[idx]),
+                    ranking.labels[idx],
+                    repr(float(ranking.scores[idx])),
+                ]
+            )
+
+
+def parse_alpha_spec(
+    spec: str,
+    attribute_names: Sequence[str],
+) -> np.ndarray:
+    """Parse a direction spec like ``"+GDP,+LEB,-IMR,-TB"`` into alpha.
+
+    Each comma-separated token is an attribute name prefixed with
+    ``+`` (benefit) or ``-`` (cost); every attribute must appear
+    exactly once.  Used by the command-line interface.
+    """
+    tokens = [t.strip() for t in spec.split(",") if t.strip()]
+    alpha = np.zeros(len(attribute_names))
+    seen = set()
+    names = list(attribute_names)
+    for token in tokens:
+        if token[0] not in "+-" or len(token) < 2:
+            raise ConfigurationError(
+                f"alpha token {token!r} must look like '+NAME' or '-NAME'"
+            )
+        sign = 1.0 if token[0] == "+" else -1.0
+        name = token[1:]
+        if name not in names:
+            raise ConfigurationError(
+                f"unknown attribute {name!r}; available: {names}"
+            )
+        if name in seen:
+            raise ConfigurationError(f"attribute {name!r} listed twice")
+        seen.add(name)
+        alpha[names.index(name)] = sign
+    missing = [n for n in names if n not in seen]
+    if missing:
+        raise ConfigurationError(
+            f"attributes missing a direction: {missing}"
+        )
+    return alpha

@@ -1,0 +1,112 @@
+"""Min–max normalisation into the unit hypercube (Eq.(29)).
+
+Step 1 of Algorithm 1 normalises every attribute to ``[0, 1]`` via
+
+    ``x_hat = (x − x_min) / (x_max − x_min)``.
+
+Because scale and translation act on Bezier curves purely through their
+control points (Eq.(16)), the normalisation is invertible on both data
+points and control points, and grading scores are unchanged by it —
+that is exactly the scale/translation-invariance meta-rule.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.exceptions import DataValidationError, NotFittedError
+
+
+class MinMaxNormalizer:
+    """Columnwise affine map onto ``[0, 1]`` with remembered bounds.
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    data_min_:
+        Per-attribute minima of the training data.
+    data_max_:
+        Per-attribute maxima.
+    """
+
+    def __init__(self, clip: bool = False):
+        #: Clip transformed values into [0, 1]; off by default so that
+        #: out-of-range test points keep their relative geometry.
+        self.clip = bool(clip)
+        self.data_min_: Optional[np.ndarray] = None
+        self.data_max_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxNormalizer":
+        """Record per-attribute minima and maxima."""
+        X = self._validate(X)
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Map observations into unit coordinates.
+
+        Constant attributes (``max == min``) map to 0.5 — the centre of
+        the cube — so they carry no ordering information, matching the
+        intuition that an attribute identical across all objects cannot
+        discriminate them.
+        """
+        mins, maxs = self._require_fit()
+        X = self._validate(X)
+        if X.shape[1] != mins.size:
+            raise DataValidationError(
+                f"X has {X.shape[1]} attributes, normaliser was fitted "
+                f"with {mins.size}"
+            )
+        span = maxs - mins
+        degenerate = span <= 0.0
+        safe_span = np.where(degenerate, 1.0, span)
+        out = (X - mins[np.newaxis, :]) / safe_span[np.newaxis, :]
+        if np.any(degenerate):
+            out[:, degenerate] = 0.5
+        if self.clip:
+            out = np.clip(out, 0.0, 1.0)
+        return out
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit and transform in one call."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X_unit: np.ndarray) -> np.ndarray:
+        """Map unit-coordinate points (or control points) back to data units."""
+        mins, maxs = self._require_fit()
+        X_unit = self._validate(X_unit)
+        if X_unit.shape[1] != mins.size:
+            raise DataValidationError(
+                f"input has {X_unit.shape[1]} attributes, normaliser was "
+                f"fitted with {mins.size}"
+            )
+        span = maxs - mins
+        degenerate = span <= 0.0
+        out = X_unit * np.where(degenerate, 0.0, span)[np.newaxis, :] + mins[
+            np.newaxis, :
+        ]
+        if np.any(degenerate):
+            out[:, degenerate] = mins[degenerate]
+        return out
+
+    # ------------------------------------------------------------------
+    def _require_fit(self) -> tuple[np.ndarray, np.ndarray]:
+        if self.data_min_ is None or self.data_max_ is None:
+            raise NotFittedError("MinMaxNormalizer")
+        return self.data_min_, self.data_max_
+
+    @staticmethod
+    def _validate(X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise DataValidationError(f"expected a 2-D matrix, got ndim={X.ndim}")
+        if not np.all(np.isfinite(X)):
+            raise DataValidationError("matrix contains NaN or inf entries")
+        return X
+
+
+def normalize_unit_cube(X: np.ndarray) -> np.ndarray:
+    """One-shot Eq.(29) normalisation (fit + transform)."""
+    return MinMaxNormalizer().fit_transform(X)

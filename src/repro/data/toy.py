@@ -1,0 +1,111 @@
+"""The three-object toy dataset of Table 1 and Fig. 6.
+
+Section 6.1 contrasts RPC with median rank aggregation on three objects
+A, B, C observed on two attributes.  RankAgg ties A and B (both average
+rank 1.5) while RPC separates them; replacing A's observation with A'
+flips RPC's order of A and B but leaves RankAgg unchanged.  The exact
+observation values are printed in Table 1 and reproduced here verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ToyDataset:
+    """Labelled toy observations for the Table 1 experiment.
+
+    Attributes
+    ----------
+    labels:
+        Object names, aligned with the rows of ``X``.
+    X:
+        Observations on attributes ``(x1, x2)``, shape ``(3, 2)``.
+    alpha:
+        Task direction vector (both attributes are benefits).
+    """
+
+    labels: tuple[str, ...]
+    X: np.ndarray
+    alpha: np.ndarray
+
+
+def table1a_objects() -> ToyDataset:
+    """The original observations of Table 1(a): A, B, C."""
+    return ToyDataset(
+        labels=("A", "B", "C"),
+        X=np.array(
+            [
+                [0.30, 0.25],
+                [0.25, 0.55],
+                [0.70, 0.70],
+            ]
+        ),
+        alpha=np.array([1.0, 1.0]),
+    )
+
+
+def table1b_objects() -> ToyDataset:
+    """Table 1(b): A replaced by the perturbed observation A'."""
+    return ToyDataset(
+        labels=("A'", "B", "C"),
+        X=np.array(
+            [
+                [0.35, 0.40],
+                [0.25, 0.55],
+                [0.70, 0.70],
+            ]
+        ),
+        alpha=np.array([1.0, 1.0]),
+    )
+
+
+#: Scores the paper reports for Table 1(a): RPC separates A and B.
+PAPER_TABLE1A_RPC_SCORES = {"A": 0.2329, "B": 0.3304, "C": 0.7300}
+
+#: Scores for Table 1(b): with A', the order of the first two flips.
+PAPER_TABLE1B_RPC_SCORES = {"A'": 0.3708, "B": 0.3431, "C": 0.7318}
+
+#: Median-rank-aggregation values common to both variants (A and B tie).
+PAPER_TABLE1_RANKAGG = {"A": 1.5, "B": 1.5, "C": 3.0}
+
+
+def example1_points() -> dict[str, np.ndarray]:
+    """The six illustrative country points of Example 1 / Fig. 2.
+
+    Attributes are (LEB years, GDP K$/person).  The pairs (x1, x2),
+    (x3, x4) and (x5, x6) demonstrate the failure modes of non-strict
+    and non-monotone principal curves.
+    """
+    return {
+        "x1": np.array([58.0, 1.4]),
+        "x2": np.array([58.0, 16.2]),
+        "x3": np.array([74.0, 40.2]),
+        "x4": np.array([82.0, 40.2]),
+        "x5": np.array([75.0, 62.5]),
+        "x6": np.array([81.0, 64.8]),
+    }
+
+
+def example2_countries() -> tuple[list[str], np.ndarray, np.ndarray]:
+    """The four-country illustration of Example 2.
+
+    Returns labels, observations on (GDP K$, LEB, IMR, Tuberculosis)
+    and the direction vector ``alpha = (1, 1, -1, -1)``.  The paper's
+    ordering is India ⪯ Moldova-like ⪯ Greece-like ⪯ Norway-like
+    (labelled I, M, G, N).
+    """
+    labels = ["I", "M", "G", "N"]
+    X = np.array(
+        [
+            [2.1, 62.7, 75.0, 59.0],
+            [11.3, 75.5, 12.0, 30.0],
+            [32.1, 79.2, 6.0, 4.0],
+            [47.6, 80.1, 3.0, 3.0],
+        ]
+    )
+    alpha = np.array([1.0, 1.0, -1.0, -1.0])
+    return labels, X, alpha

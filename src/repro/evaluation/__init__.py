@@ -1,0 +1,52 @@
+"""Evaluation layer: metrics, violation counting, model comparison.
+
+* :mod:`repro.evaluation.metrics` — Kendall tau, Spearman rho,
+  explained variance, top-k overlap.
+* :mod:`repro.evaluation.monotonicity` — empirical strict-monotonicity
+  violation counts for any scorer.
+* :mod:`repro.evaluation.comparison` — aligned multi-model ranking
+  tables (the Table 2/3 presentation).
+"""
+
+from repro.evaluation.comparison import (
+    FittableRanker,
+    ModelComparison,
+    compare_rankers,
+)
+from repro.evaluation.metrics import (
+    explained_variance_from_residuals,
+    kendall_tau,
+    mean_squared_error,
+    pairwise_disagreements,
+    spearman_rho,
+    top_k_overlap,
+)
+from repro.evaluation.reports import EvaluationReport, evaluate_rpc_ranking
+from repro.evaluation.stability import (
+    StabilityReport,
+    bootstrap_rank_stability,
+)
+from repro.evaluation.monotonicity import (
+    OrderViolationSummary,
+    count_order_violations,
+    scores_respect_pairs,
+)
+
+__all__ = [
+    "FittableRanker",
+    "ModelComparison",
+    "EvaluationReport",
+    "OrderViolationSummary",
+    "StabilityReport",
+    "bootstrap_rank_stability",
+    "compare_rankers",
+    "count_order_violations",
+    "evaluate_rpc_ranking",
+    "explained_variance_from_residuals",
+    "kendall_tau",
+    "mean_squared_error",
+    "pairwise_disagreements",
+    "scores_respect_pairs",
+    "spearman_rho",
+    "top_k_overlap",
+]

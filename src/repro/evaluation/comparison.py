@@ -1,0 +1,106 @@
+"""Side-by-side comparison of ranking models on one dataset.
+
+The experiment tables (2 and 3) present several models' scores and
+orders for the same objects.  :func:`compare_rankers` fits any mapping
+of named models exposing ``fit``/``score_samples``, assembles aligned
+:class:`repro.core.scoring.RankingList` objects, and formats the
+fixed-width text tables printed by the benchmarks and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.scoring import RankingList, build_ranking_list
+from repro.evaluation.metrics import kendall_tau, spearman_rho
+
+
+class FittableRanker(Protocol):
+    """Minimal protocol all rankers in this library satisfy."""
+
+    def fit(self, X: np.ndarray) -> "FittableRanker": ...
+
+    def score_samples(self, X: np.ndarray) -> np.ndarray: ...
+
+
+@dataclass
+class ModelComparison:
+    """Aligned rankings of several models on one dataset.
+
+    Attributes
+    ----------
+    labels:
+        Object names, shared across models.
+    rankings:
+        Model name -> :class:`RankingList`.
+    """
+
+    labels: list[str]
+    rankings: dict[str, RankingList]
+
+    def agreement_matrix(self, metric: str = "kendall") -> dict[tuple[str, str], float]:
+        """Pairwise rank correlation between all model pairs."""
+        func = kendall_tau if metric == "kendall" else spearman_rho
+        names = list(self.rankings)
+        out: dict[tuple[str, str], float] = {}
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                out[(a, b)] = func(
+                    self.rankings[a].scores, self.rankings[b].scores
+                )
+        return out
+
+    def table(
+        self,
+        rows: Optional[Sequence[str]] = None,
+        sort_by: Optional[str] = None,
+    ) -> str:
+        """Fixed-width text table of scores and orders per model.
+
+        Parameters
+        ----------
+        rows:
+            Subset of object labels to print (all when omitted).
+        sort_by:
+            Model name whose order should sort the rows (original
+            order when omitted).
+        """
+        names = list(self.rankings)
+        selected = list(rows) if rows is not None else list(self.labels)
+        indices = [self.labels.index(label) for label in selected]
+        if sort_by is not None:
+            ranking = self.rankings[sort_by]
+            indices.sort(key=lambda i: ranking.positions[i])
+        width = max(len(label) for label in self.labels) + 2
+        header = "Object".ljust(width) + "".join(
+            f"{name + ' score':>16}{name + ' order':>14}" for name in names
+        )
+        lines = [header, "-" * len(header)]
+        for i in indices:
+            cells = []
+            for name in names:
+                ranking = self.rankings[name]
+                cells.append(f"{ranking.scores[i]:>16.4f}")
+                cells.append(f"{ranking.positions[i]:>14d}")
+            lines.append(self.labels[i].ljust(width) + "".join(cells))
+        return "\n".join(lines)
+
+
+def compare_rankers(
+    models: dict[str, FittableRanker],
+    X: np.ndarray,
+    labels: Optional[Sequence[str]] = None,
+) -> ModelComparison:
+    """Fit every model on ``X`` and collect aligned ranking lists."""
+    X = np.asarray(X, dtype=float)
+    if labels is None:
+        labels = [str(i) for i in range(X.shape[0])]
+    rankings: dict[str, RankingList] = {}
+    for name, model in models.items():
+        model.fit(X)
+        scores = np.asarray(model.score_samples(X), dtype=float).ravel()
+        rankings[name] = build_ranking_list(scores, labels=labels)
+    return ModelComparison(labels=list(labels), rankings=rankings)

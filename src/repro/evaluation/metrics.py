@@ -1,0 +1,127 @@
+"""Rank-correlation and fit-quality metrics.
+
+Kendall's tau and Spearman's rho quantify agreement between ranking
+lists (used to compare RPC against baselines and against latent ground
+truth in synthetic recovery tests); explained variance / MSE quantify
+curve fit quality (the paper's "90% vs 86%" Table 2 comparison).
+All statistics are implemented from scratch on numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import DataValidationError
+
+
+def _validate_pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=float).ravel()
+    b = np.asarray(b, dtype=float).ravel()
+    if a.size != b.size:
+        raise DataValidationError(
+            f"score vectors must have equal length, got {a.size} and {b.size}"
+        )
+    if a.size < 2:
+        raise DataValidationError("need at least 2 scores to correlate")
+    return a, b
+
+
+def kendall_tau(a: np.ndarray, b: np.ndarray) -> float:
+    """Kendall's tau-b between two score vectors.
+
+    tau-b corrects for ties in either vector; it equals the classic
+    tau-a when no ties exist.  Computed by direct pair enumeration in
+    vectorised form — ``O(n^2)`` memory over pairs, fine at the
+    few-hundred-object scale of the experiments.
+    """
+    a, b = _validate_pair(a, b)
+    da = np.sign(a[:, np.newaxis] - a[np.newaxis, :])
+    db = np.sign(b[:, np.newaxis] - b[np.newaxis, :])
+    iu = np.triu_indices(a.size, k=1)
+    pa = da[iu]
+    pb = db[iu]
+    concordant_minus_discordant = float(np.sum(pa * pb))
+    ties_a = float(np.sum(pa == 0.0))
+    ties_b = float(np.sum(pb == 0.0))
+    n_pairs = pa.size
+    denom = np.sqrt((n_pairs - ties_a) * (n_pairs - ties_b))
+    if denom <= 0.0:
+        return 0.0
+    return concordant_minus_discordant / denom
+
+
+def spearman_rho(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman's rank correlation (Pearson on midranks)."""
+    a, b = _validate_pair(a, b)
+    ra = _midrank(a)
+    rb = _midrank(b)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    denom = np.sqrt(float(np.sum(ra**2)) * float(np.sum(rb**2)))
+    if denom <= 0.0:
+        return 0.0
+    return float(np.sum(ra * rb)) / denom
+
+
+def _midrank(values: np.ndarray) -> np.ndarray:
+    """Ascending midranks with ties averaged."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size)
+    sorted_vals = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    return ranks
+
+
+def pairwise_disagreements(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of object pairs the two score vectors order oppositely."""
+    a, b = _validate_pair(a, b)
+    da = np.sign(a[:, np.newaxis] - a[np.newaxis, :])
+    db = np.sign(b[:, np.newaxis] - b[np.newaxis, :])
+    iu = np.triu_indices(a.size, k=1)
+    return int(np.count_nonzero(da[iu] * db[iu] < 0.0))
+
+
+def mean_squared_error(X: np.ndarray, reconstruction: np.ndarray) -> float:
+    """Mean squared reconstruction error per observation."""
+    X = np.asarray(X, dtype=float)
+    R = np.asarray(reconstruction, dtype=float)
+    if X.shape != R.shape:
+        raise DataValidationError(
+            f"shape mismatch: {X.shape} vs {R.shape}"
+        )
+    return float(np.mean(np.sum((X - R) ** 2, axis=1)))
+
+
+def explained_variance_from_residuals(
+    X: np.ndarray, residuals: np.ndarray
+) -> float:
+    """``1 − SS_res / SS_tot`` given raw residual vectors."""
+    X = np.asarray(X, dtype=float)
+    R = np.asarray(residuals, dtype=float)
+    if X.shape != R.shape:
+        raise DataValidationError(f"shape mismatch: {X.shape} vs {R.shape}")
+    ss_res = float(np.sum(R**2))
+    ss_tot = float(np.sum((X - X.mean(axis=0)) ** 2))
+    if ss_tot <= 0.0:
+        return 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def top_k_overlap(a: np.ndarray, b: np.ndarray, k: int) -> float:
+    """Jaccard overlap of the top-``k`` sets of two score vectors."""
+    a, b = _validate_pair(a, b)
+    if k <= 0:
+        raise DataValidationError(f"k must be positive, got {k}")
+    k = min(k, a.size)
+    top_a = set(np.argsort(-a, kind="stable")[:k].tolist())
+    top_b = set(np.argsort(-b, kind="stable")[:k].tolist())
+    union = top_a | top_b
+    if not union:
+        return 1.0
+    return len(top_a & top_b) / len(union)

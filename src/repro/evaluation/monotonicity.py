@@ -1,0 +1,118 @@
+"""Empirical order-violation counting for fitted scorers.
+
+The paper's Example 1 and Fig. 2 argue that non-monotone ranking rules
+produce concretely wrong orderings.  These utilities count such wrongs
+for any scorer: pairs that the task order strictly ranks but the scores
+tie or invert.  The benchmark for Fig. 2 uses them to show the polyline
+and free principal-curve baselines committing violations that RPC —
+whose constraints *prove* monotonicity — never commits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.meta_rules import Scorer
+from repro.core.order import RankingOrder
+
+
+@dataclass
+class OrderViolationSummary:
+    """Count of score-order disagreements with the task order.
+
+    Attributes
+    ----------
+    n_comparable_pairs:
+        Strictly ordered pairs under the task order.
+    n_inversions:
+        Pairs scored in the opposite direction.
+    n_ties:
+        Strictly ordered pairs whose scores coincide (non-strictness).
+    violating_pairs:
+        Index pairs ``(i, j)`` (``x_i`` strictly below ``x_j``) that
+        were tied or inverted, at most ``max_recorded`` of them.
+    """
+
+    n_comparable_pairs: int
+    n_inversions: int
+    n_ties: int
+    violating_pairs: list[tuple[int, int]]
+
+    @property
+    def n_violations(self) -> int:
+        """Total inversions plus ties."""
+        return self.n_inversions + self.n_ties
+
+    @property
+    def violation_rate(self) -> float:
+        """Violations as a fraction of comparable pairs (0 when none)."""
+        if self.n_comparable_pairs == 0:
+            return 0.0
+        return self.n_violations / self.n_comparable_pairs
+
+
+def count_order_violations(
+    scorer: Scorer,
+    X: np.ndarray,
+    order: RankingOrder,
+    tie_tol: float = 1e-12,
+    max_recorded: int = 50,
+) -> OrderViolationSummary:
+    """Count strict-monotonicity violations of ``scorer`` on ``X``.
+
+    Parameters
+    ----------
+    scorer:
+        Fitted scoring function (higher is better).
+    X:
+        Data matrix.
+    order:
+        The task's order relation.
+    tie_tol:
+        Scores closer than this are treated as tied.
+    max_recorded:
+        Cap on explicitly recorded violating pairs (the counts are
+        always exact).
+    """
+    X = np.asarray(X, dtype=float)
+    scores = np.asarray(scorer(X), dtype=float).ravel()
+    strict = order.strict_dominance_matrix(X)
+    diff = scores[np.newaxis, :] - scores[:, np.newaxis]
+    inversions = strict & (diff < -tie_tol)
+    ties = strict & (np.abs(diff) <= tie_tol)
+    n_pairs = int(np.count_nonzero(strict))
+    n_inv = int(np.count_nonzero(inversions))
+    n_tie = int(np.count_nonzero(ties))
+    recorded: list[tuple[int, int]] = []
+    bad = inversions | ties
+    rows, cols = np.nonzero(bad)
+    for i, j in zip(rows.tolist(), cols.tolist()):
+        if len(recorded) >= max_recorded:
+            break
+        recorded.append((i, j))
+    return OrderViolationSummary(
+        n_comparable_pairs=n_pairs,
+        n_inversions=n_inv,
+        n_ties=n_tie,
+        violating_pairs=recorded,
+    )
+
+
+def scores_respect_pairs(
+    scorer: Scorer,
+    pairs: list[tuple[np.ndarray, np.ndarray]],
+    tie_tol: float = 1e-12,
+) -> list[bool]:
+    """Check named worse/better pairs (the Example 1 x1..x6 test).
+
+    Each pair is ``(worse, better)``; returns per-pair booleans saying
+    whether the scorer put the better point strictly above the worse.
+    """
+    results = []
+    for worse, better in pairs:
+        both = np.vstack([np.asarray(worse, float), np.asarray(better, float)])
+        s = np.asarray(scorer(both), dtype=float).ravel()
+        results.append(bool(s[1] - s[0] > tie_tol))
+    return results

@@ -1,0 +1,66 @@
+"""Bezier/Bernstein geometry substrate for the RPC model.
+
+* :mod:`repro.geometry.bernstein` — Bernstein basis, derivative basis,
+  and the power-basis conversion matrix (Eq.(13)–(15)).
+* :mod:`repro.geometry.bezier` — general-degree :class:`BezierCurve`
+  with evaluation, hodograph, subdivision, arc length and point
+  projection.
+* :mod:`repro.geometry.cubic` — the cubic (``k = 3``) specialisation
+  the paper ranks with: pinned end points, Fig. 4 shape gallery.
+* :mod:`repro.geometry.monotonicity` — Proposition 1 constraint checks
+  and monotonicity certificates.
+"""
+
+from repro.geometry.bernstein import (
+    CUBIC_M,
+    bernstein_basis,
+    bernstein_derivative_basis,
+    bernstein_design_matrix,
+    bernstein_to_power_matrix,
+    power_vector,
+)
+from repro.geometry.bezier import BezierCurve
+from repro.geometry.fitting import (
+    BezierFitResult,
+    chord_length_parameters,
+    fit_bezier_least_squares,
+)
+from repro.geometry.cubic import (
+    M,
+    basic_shapes_2d,
+    cubic_from_interior_points,
+    linear_cubic,
+    pinned_endpoints,
+    validate_direction_vector,
+)
+from repro.geometry.monotonicity import (
+    ViolationReport,
+    check_rpc_constraints,
+    clip_to_interior,
+    empirical_monotonicity_violations,
+    is_coordinatewise_monotone,
+)
+
+__all__ = [
+    "CUBIC_M",
+    "M",
+    "BezierCurve",
+    "BezierFitResult",
+    "ViolationReport",
+    "basic_shapes_2d",
+    "bernstein_basis",
+    "bernstein_derivative_basis",
+    "bernstein_design_matrix",
+    "bernstein_to_power_matrix",
+    "check_rpc_constraints",
+    "chord_length_parameters",
+    "clip_to_interior",
+    "fit_bezier_least_squares",
+    "cubic_from_interior_points",
+    "empirical_monotonicity_violations",
+    "is_coordinatewise_monotone",
+    "linear_cubic",
+    "pinned_endpoints",
+    "power_vector",
+    "validate_direction_vector",
+]

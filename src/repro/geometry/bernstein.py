@@ -1,0 +1,116 @@
+"""Bernstein polynomial basis.
+
+The RPC model expresses a principal curve as a Bezier curve, Eq.(12),
+
+    ``f(s) = sum_r B_r^k(s) p_r,    s in [0, 1]``,
+
+built on the Bernstein basis polynomials of Eq.(13)–(14),
+
+    ``B_r^k(s) = C(k, r) (1 - s)^(k - r) s^r``.
+
+This module provides the basis itself, its derivatives, the power-basis
+conversion matrix (which for ``k = 3`` is the matrix ``M`` of Eq.(15)),
+and utility identities (partition of unity, symmetry) that the property
+tests exercise.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+
+
+def bernstein_basis(k: int, s: np.ndarray) -> np.ndarray:
+    """Evaluate all ``k + 1`` Bernstein polynomials of degree ``k``.
+
+    Parameters
+    ----------
+    k:
+        Polynomial degree, ``k >= 0``.
+    s:
+        Evaluation points, any shape; values are typically in
+        ``[0, 1]`` though the formula is valid everywhere.
+
+    Returns
+    -------
+    Array of shape ``(k + 1,) + s.shape`` where entry ``[r]`` holds
+    ``B_r^k(s)``.
+    """
+    if k < 0:
+        raise ConfigurationError(f"degree must be non-negative, got {k}")
+    s = np.asarray(s, dtype=float)
+    one_minus = 1.0 - s
+    values = np.empty((k + 1,) + s.shape, dtype=float)
+    for r in range(k + 1):
+        values[r] = comb(k, r) * one_minus ** (k - r) * s**r
+    return values
+
+
+def bernstein_design_matrix(k: int, s: np.ndarray) -> np.ndarray:
+    """Design matrix ``[B_r^k(s_i)]`` of shape ``(n, k + 1)``.
+
+    Row ``i`` contains the full basis evaluated at ``s_i``; this is the
+    matrix a least-squares Bezier fit regresses against.
+    """
+    s = np.asarray(s, dtype=float).ravel()
+    return bernstein_basis(k, s).T
+
+
+def bernstein_to_power_matrix(k: int) -> np.ndarray:
+    """Conversion matrix ``M`` from control points to power coefficients.
+
+    ``M`` satisfies ``f(s) = P M z`` with ``z = (1, s, ..., s^k)^T`` and
+    ``P`` the ``(d, k + 1)`` matrix of control points, generalising the
+    cubic matrix printed in Eq.(15).  Entry ``M[r, j]`` is the
+    coefficient of ``s^j`` contributed by control point ``p_r``:
+
+        ``M[r, j] = C(k, r) * C(k - r, j - r) * (-1)^(j - r)`` for
+        ``j >= r`` and zero otherwise.
+    """
+    if k < 0:
+        raise ConfigurationError(f"degree must be non-negative, got {k}")
+    M = np.zeros((k + 1, k + 1))
+    for r in range(k + 1):
+        for j in range(r, k + 1):
+            M[r, j] = comb(k, r) * comb(k - r, j - r) * (-1.0) ** (j - r)
+    return M
+
+
+#: The cubic conversion matrix of Eq.(15), provided as a named constant
+#: because the RPC formulation refers to it throughout.
+CUBIC_M = bernstein_to_power_matrix(3)
+
+
+def power_vector(s: np.ndarray, k: int) -> np.ndarray:
+    """The monomial vector ``z = (1, s, s^2, ..., s^k)``.
+
+    Returns shape ``(k + 1, n)`` for 1-D input of length ``n`` — the
+    matrix ``Z`` of Eq.(23) when ``k = 3``.
+    """
+    s = np.asarray(s, dtype=float).ravel()
+    powers = np.arange(k + 1)[:, np.newaxis]
+    return s[np.newaxis, :] ** powers
+
+
+def bernstein_derivative_basis(k: int, s: np.ndarray) -> np.ndarray:
+    """Derivatives ``d B_r^k / ds`` for all ``r``, shape ``(k+1,) + s.shape``.
+
+    Uses the classical identity
+    ``dB_r^k/ds = k (B_{r-1}^{k-1}(s) - B_r^{k-1}(s))`` with out-of-range
+    basis functions treated as zero.
+    """
+    if k < 0:
+        raise ConfigurationError(f"degree must be non-negative, got {k}")
+    s = np.asarray(s, dtype=float)
+    if k == 0:
+        return np.zeros((1,) + s.shape)
+    lower = bernstein_basis(k - 1, s)
+    out = np.empty((k + 1,) + s.shape, dtype=float)
+    for r in range(k + 1):
+        left = lower[r - 1] if r - 1 >= 0 else 0.0
+        right = lower[r] if r <= k - 1 else 0.0
+        out[r] = k * (left - right)
+    return out

@@ -1,0 +1,299 @@
+"""General-degree Bezier curves in ``R^d``.
+
+A :class:`BezierCurve` wraps a ``(d, k + 1)`` control-point matrix and
+offers evaluation, derivatives, degree elevation, de Casteljau
+subdivision, arc length, and projection of external points onto the
+curve.  The RPC model (degree 3, constrained control points) is built
+on top of this class; keeping the general machinery separate lets the
+geometry be tested against classical Bezier identities independently of
+the ranking semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.integrate import quad
+
+from repro.core.exceptions import ConfigurationError
+from repro.geometry.bernstein import (
+    bernstein_basis,
+    bernstein_derivative_basis,
+    bernstein_to_power_matrix,
+    power_vector,
+)
+from repro.linalg.golden_section import golden_section_search_batch
+from repro.linalg.polyroots import minimize_polynomial_on_interval
+
+
+class BezierCurve:
+    """A Bezier curve ``f(s) = sum_r B_r^k(s) p_r`` on ``s in [0, 1]``.
+
+    Parameters
+    ----------
+    control_points:
+        Matrix of shape ``(d, k + 1)``: column ``r`` is the point
+        ``p_r``.  The curve starts at column 0 and ends at column ``k``.
+        (The paper's Eq.(15) uses the same column convention: ``P =
+        (p0, p1, p2, p3)``.)
+    """
+
+    def __init__(self, control_points: np.ndarray):
+        P = np.asarray(control_points, dtype=float)
+        if P.ndim != 2:
+            raise ConfigurationError(
+                f"control_points must be a (d, k+1) matrix, got ndim={P.ndim}"
+            )
+        if P.shape[1] < 2:
+            raise ConfigurationError(
+                "a Bezier curve needs at least two control points "
+                f"(degree >= 1), got {P.shape[1]}"
+            )
+        if not np.all(np.isfinite(P)):
+            raise ConfigurationError("control_points contain NaN or inf")
+        self._P = P
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def control_points(self) -> np.ndarray:
+        """The ``(d, k + 1)`` control-point matrix (a defensive copy)."""
+        return self._P.copy()
+
+    @property
+    def degree(self) -> int:
+        """Polynomial degree ``k`` of the curve."""
+        return self._P.shape[1] - 1
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension ``d``."""
+        return self._P.shape[0]
+
+    @property
+    def start(self) -> np.ndarray:
+        """Curve point at ``s = 0`` (equals the first control point)."""
+        return self._P[:, 0].copy()
+
+    @property
+    def end(self) -> np.ndarray:
+        """Curve point at ``s = 1`` (equals the last control point)."""
+        return self._P[:, -1].copy()
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def __call__(self, s: np.ndarray) -> np.ndarray:
+        """Evaluate the curve; returns shape ``(d, n)`` for 1-D ``s``."""
+        return self.evaluate(s)
+
+    def evaluate(self, s: np.ndarray) -> np.ndarray:
+        """Evaluate ``f(s)`` for a vector of parameters.
+
+        Parameters
+        ----------
+        s:
+            Parameter values, shape ``(n,)`` (scalars are promoted).
+
+        Returns
+        -------
+        Array of shape ``(d, n)``.
+        """
+        s = np.atleast_1d(np.asarray(s, dtype=float))
+        basis = bernstein_basis(self.degree, s)  # (k+1, n)
+        return self._P @ basis
+
+    def evaluate_de_casteljau(self, s: float) -> np.ndarray:
+        """Evaluate one parameter via the de Casteljau recurrence.
+
+        Numerically the most stable evaluation; used in tests as an
+        oracle for :meth:`evaluate`.
+        """
+        pts = self._P.copy()
+        k = self.degree
+        for level in range(k):
+            pts[:, : k - level] = (1.0 - s) * pts[:, : k - level] + s * pts[
+                :, 1 : k - level + 1
+            ]
+        return pts[:, 0].copy()
+
+    def derivative_curve(self) -> "BezierCurve":
+        """The hodograph: a degree ``k - 1`` Bezier curve equal to ``f'``.
+
+        Eq.(17): ``f'(s) = k * sum_j B_j^{k-1}(s) (p_{j+1} - p_j)``.
+        """
+        k = self.degree
+        if k == 0:
+            raise ConfigurationError("degree-0 curve has no derivative curve")
+        diff = k * (self._P[:, 1:] - self._P[:, :-1])
+        return BezierCurve(diff) if k >= 2 else BezierCurve(
+            np.column_stack([diff[:, 0], diff[:, 0]])
+        )
+
+    def derivative(self, s: np.ndarray) -> np.ndarray:
+        """Evaluate ``f'(s)``; returns shape ``(d, n)``."""
+        s = np.atleast_1d(np.asarray(s, dtype=float))
+        dbasis = bernstein_derivative_basis(self.degree, s)
+        return self._P @ dbasis
+
+    # ------------------------------------------------------------------
+    # Power-basis view
+    # ------------------------------------------------------------------
+    def power_coefficients(self) -> np.ndarray:
+        """Coefficients ``C`` with ``f(s) = C z``, ``z = (1, s, ..., s^k)``.
+
+        Returns shape ``(d, k + 1)``; column ``j`` multiplies ``s^j``.
+        This is ``P M`` in the paper's notation.
+        """
+        M = bernstein_to_power_matrix(self.degree)
+        return self._P @ M
+
+    # ------------------------------------------------------------------
+    # Geometric operations
+    # ------------------------------------------------------------------
+    def elevate_degree(self) -> "BezierCurve":
+        """Return an equivalent curve of degree ``k + 1``.
+
+        Degree elevation preserves the curve point-for-point; tests use
+        it to check that geometric queries are representation
+        independent.
+        """
+        k = self.degree
+        P = self._P
+        Q = np.empty((self.dimension, k + 2))
+        Q[:, 0] = P[:, 0]
+        Q[:, -1] = P[:, -1]
+        for r in range(1, k + 1):
+            w = r / (k + 1.0)
+            Q[:, r] = w * P[:, r - 1] + (1.0 - w) * P[:, r]
+        return BezierCurve(Q)
+
+    def subdivide(self, s: float) -> Tuple["BezierCurve", "BezierCurve"]:
+        """Split the curve at parameter ``s`` into two Bezier curves.
+
+        Both halves are degree ``k``; their union traces exactly the
+        original curve (left covers ``[0, s]``, right covers ``[s, 1]``).
+        """
+        if not 0.0 <= s <= 1.0:
+            raise ConfigurationError(f"split parameter must lie in [0,1], got {s}")
+        k = self.degree
+        pts = self._P.copy()
+        left = np.empty_like(self._P)
+        right = np.empty_like(self._P)
+        left[:, 0] = pts[:, 0]
+        right[:, k] = pts[:, k]
+        for level in range(k):
+            pts[:, : k - level] = (1.0 - s) * pts[:, : k - level] + s * pts[
+                :, 1 : k - level + 1
+            ]
+            left[:, level + 1] = pts[:, 0]
+            right[:, k - level - 1] = pts[:, k - level - 1]
+        return BezierCurve(left), BezierCurve(right)
+
+    def arc_length(self, lo: float = 0.0, hi: float = 1.0) -> float:
+        """Arc length of the curve segment via adaptive quadrature."""
+        if not 0.0 <= lo <= hi <= 1.0:
+            raise ConfigurationError(
+                f"need 0 <= lo <= hi <= 1, got lo={lo}, hi={hi}"
+            )
+
+        def speed(t: float) -> float:
+            return float(np.linalg.norm(self.derivative(np.array([t]))[:, 0]))
+
+        value, _abserr = quad(speed, lo, hi, limit=200)
+        return float(value)
+
+    # ------------------------------------------------------------------
+    # Projection of external points
+    # ------------------------------------------------------------------
+    def project(
+        self,
+        X: np.ndarray,
+        method: str = "gss",
+        n_grid: int = 32,
+        tol: float = 1e-10,
+    ) -> np.ndarray:
+        """Projection indices ``s_f(x)`` of Eq.(A-2) for each row of ``X``.
+
+        Parameters
+        ----------
+        X:
+            Data of shape ``(n, d)``.
+        method:
+            ``"gss"`` — coarse grid scan plus batched Golden Section
+            Search (the paper's choice); ``"roots"`` — exact
+            minimisation of the squared-distance polynomial via its
+            stationary points (companion-matrix root finding).
+        n_grid:
+            Grid resolution of the bracketing scan for ``"gss"``.
+        tol:
+            Bracket tolerance for GSS.
+
+        Returns
+        -------
+        Array of shape ``(n,)`` with values in ``[0, 1]``.
+        """
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.dimension:
+            raise ConfigurationError(
+                f"X must have shape (n, {self.dimension}), got {X.shape}"
+            )
+        if method == "gss":
+            return self._project_gss(X, n_grid=n_grid, tol=tol)
+        if method == "roots":
+            return self._project_roots(X)
+        raise ConfigurationError(
+            f"unknown projection method {method!r}; use 'gss' or 'roots'"
+        )
+
+    def _project_gss(self, X: np.ndarray, n_grid: int, tol: float) -> np.ndarray:
+        grid = np.linspace(0.0, 1.0, n_grid)
+        curve_on_grid = self.evaluate(grid)  # (d, g)
+        # Squared distances, shape (n, g).
+        sq = (
+            np.sum(X**2, axis=1)[:, np.newaxis]
+            - 2.0 * X @ curve_on_grid
+            + np.sum(curve_on_grid**2, axis=0)[np.newaxis, :]
+        )
+        best = np.argmin(sq, axis=1)
+        step = 1.0 / (n_grid - 1)
+        lo = np.clip(grid[best] - step, 0.0, 1.0)
+        hi = np.clip(grid[best] + step, 0.0, 1.0)
+
+        def objective(s: np.ndarray) -> np.ndarray:
+            pts = self.evaluate(s)  # (d, n)
+            return np.sum((X.T - pts) ** 2, axis=0)
+
+        s_opt, _ = golden_section_search_batch(objective, lo, hi, tol=tol)
+        return s_opt
+
+    def _project_roots(self, X: np.ndarray) -> np.ndarray:
+        # Squared distance ‖x - C z‖² is a polynomial of degree 2k in s;
+        # minimise it exactly per point via stationary-point enumeration.
+        C = self.power_coefficients()  # (d, k+1)
+        k = self.degree
+        # Coefficients of g(s) = f(s)·f(s) (degree 2k) independent of x.
+        quad_coeffs = np.zeros(2 * k + 1)
+        for a in range(k + 1):
+            for b in range(k + 1):
+                quad_coeffs[a + b] += float(C[:, a] @ C[:, b])
+        out = np.empty(X.shape[0])
+        for i, x in enumerate(X):
+            lin = -2.0 * (x @ C)  # degree-k coefficients of -2 x·f(s)
+            coeffs = quad_coeffs.copy()
+            coeffs[: k + 1] += lin
+            coeffs[0] += float(x @ x)
+            out[i] = minimize_polynomial_on_interval(coeffs, 0.0, 1.0)
+        return out
+
+    def projection_residuals(self, X: np.ndarray, s: np.ndarray) -> np.ndarray:
+        """Residual vectors ``x_i - f(s_i)``, shape ``(n, d)``."""
+        pts = self.evaluate(np.asarray(s, dtype=float))
+        return np.asarray(X, dtype=float) - pts.T
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BezierCurve(degree={self.degree}, dimension={self.dimension})"
+        )

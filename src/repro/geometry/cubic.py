@@ -1,0 +1,131 @@
+"""Cubic Bezier specifics: the matrix form of Eq.(15) and Fig. 4 shapes.
+
+The RPC model fixes the degree at ``k = 3``: the paper argues degree 2
+cannot represent all monotone shapes while degree 4 overfits.  This
+module provides the cubic conversion matrix ``M``, builders for the
+four basic monotone shapes of Fig. 4, and helpers for constructing the
+pinned end points ``p0 = (1 - alpha) / 2`` and ``p3 = (1 + alpha) / 2``
+from a task direction vector ``alpha``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.geometry.bernstein import CUBIC_M
+from repro.geometry.bezier import BezierCurve
+
+#: Eq.(15)'s conversion matrix, re-exported under the paper's name.
+M = CUBIC_M
+
+
+def validate_direction_vector(alpha: np.ndarray, d: int | None = None) -> np.ndarray:
+    """Validate and canonicalise a task direction vector ``alpha``.
+
+    ``alpha`` (Eq.(3)) has one entry per attribute: ``+1`` for
+    attributes where larger is better (the set ``E``) and ``-1`` where
+    smaller is better (the set ``F``).
+    """
+    alpha = np.asarray(alpha, dtype=float).ravel()
+    if d is not None and alpha.size != d:
+        raise ConfigurationError(
+            f"direction vector has {alpha.size} entries but data has {d} "
+            "attributes"
+        )
+    if not np.all(np.isin(alpha, (-1.0, 1.0))):
+        raise ConfigurationError(
+            "direction vector entries must be +1 or -1, got "
+            f"{np.unique(alpha)}"
+        )
+    return alpha
+
+
+def pinned_endpoints(alpha: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """End points ``p0 = (1 - alpha)/2`` and ``p3 = (1 + alpha)/2``.
+
+    These sit at opposite corners of the unit hypercube ``[0, 1]^d``:
+    the worst corner (0 on increasing attributes, 1 on decreasing ones)
+    and the best corner respectively, so that score 0 means "worst
+    reference" and score 1 means "best reference".
+    """
+    alpha = validate_direction_vector(alpha)
+    p0 = 0.5 * (1.0 - alpha)
+    p3 = 0.5 * (1.0 + alpha)
+    return p0, p3
+
+
+def cubic_from_interior_points(
+    alpha: np.ndarray,
+    p1: np.ndarray,
+    p2: np.ndarray,
+) -> BezierCurve:
+    """Assemble a cubic Bezier with pinned ends and given interior points.
+
+    Parameters
+    ----------
+    alpha:
+        Direction vector of length ``d``.
+    p1, p2:
+        Interior control points, each of length ``d``; the RPC
+        constraint requires them strictly inside ``(0, 1)^d`` (checked
+        by :func:`repro.geometry.monotonicity.check_rpc_constraints`,
+        not here, so this builder stays usable for counter-examples).
+    """
+    alpha = validate_direction_vector(alpha)
+    p1 = np.asarray(p1, dtype=float).ravel()
+    p2 = np.asarray(p2, dtype=float).ravel()
+    if p1.size != alpha.size or p2.size != alpha.size:
+        raise ConfigurationError(
+            "interior control points must match the direction vector "
+            f"dimension {alpha.size}, got {p1.size} and {p2.size}"
+        )
+    p0, p3 = pinned_endpoints(alpha)
+    return BezierCurve(np.column_stack([p0, p1, p2, p3]))
+
+
+def basic_shapes_2d() -> Dict[str, BezierCurve]:
+    """The four basic monotone cubic shapes of Fig. 4 (in 2-D).
+
+    Hu et al. (1998) showed an increasing cubic Bezier in the unit
+    square takes one of four basic nonlinear shapes depending on the
+    interior control-point placement: concave, convex, S-shaped
+    (concave-then-convex) and reverse-S (convex-then-concave).  The
+    returned dictionary maps shape names to curves with ``alpha = (1, 1)``.
+    """
+    alpha = np.array([1.0, 1.0])
+    shapes = {
+        # p1 high-left, p2 high-left: rises fast then flattens.
+        "concave": cubic_from_interior_points(
+            alpha, p1=np.array([0.1, 0.7]), p2=np.array([0.3, 0.95])
+        ),
+        # p1 low-right, p2 low-right: flat start, fast finish.
+        "convex": cubic_from_interior_points(
+            alpha, p1=np.array([0.7, 0.1]), p2=np.array([0.95, 0.3])
+        ),
+        # p1 pulls up early, p2 pulls down late: S shape.
+        "s_shape": cubic_from_interior_points(
+            alpha, p1=np.array([0.1, 0.6]), p2=np.array([0.9, 0.4])
+        ),
+        # p1 pulls down early, p2 pulls up late: reverse S.
+        "reverse_s": cubic_from_interior_points(
+            alpha, p1=np.array([0.6, 0.1]), p2=np.array([0.4, 0.9])
+        ),
+    }
+    return shapes
+
+
+def linear_cubic(alpha: np.ndarray) -> BezierCurve:
+    """The straight-line cubic from the worst to the best corner.
+
+    Placing the interior control points at thirds along the diagonal
+    reproduces a perfectly linear ranking rule — demonstrating the
+    "linear capacity" meta-rule is available to the cubic model.
+    """
+    alpha = validate_direction_vector(alpha)
+    p0, p3 = pinned_endpoints(alpha)
+    p1 = p0 + (p3 - p0) / 3.0
+    p2 = p0 + 2.0 * (p3 - p0) / 3.0
+    return BezierCurve(np.column_stack([p0, p1, p2, p3]))

@@ -1,0 +1,161 @@
+"""Unconstrained least-squares Bezier fitting (Pastva, reference [20]).
+
+The paper cites Pastva's "Bezier Curve Fitting" for the classical
+approach: given points with known (or iteratively refined) parameter
+values, the control points minimising the summed squared residual
+solve a linear least-squares problem in the Bernstein design matrix.
+The RPC is this procedure *plus* the corner pinning and interior-cube
+constraints; keeping the unconstrained fitter separate lets tests and
+benchmarks quantify exactly what the constraints cost (a little fit)
+and buy (monotonicity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError, DataValidationError
+from repro.geometry.bernstein import bernstein_design_matrix
+from repro.geometry.bezier import BezierCurve
+
+
+@dataclass
+class BezierFitResult:
+    """Outcome of :func:`fit_bezier_least_squares`.
+
+    Attributes
+    ----------
+    curve:
+        The fitted (unconstrained) Bezier curve.
+    parameters:
+        Final per-point parameter values ``s_i``.
+    residual:
+        Summed squared residual at the final iteration.
+    n_iterations:
+        Parameter-refinement sweeps performed.
+    """
+
+    curve: BezierCurve
+    parameters: np.ndarray
+    residual: float
+    n_iterations: int
+
+
+def chord_length_parameters(X: np.ndarray) -> np.ndarray:
+    """Chord-length parametrisation of ordered points.
+
+    The standard initial guess: ``s_i`` proportional to the cumulative
+    polyline length through the points in their given order, scaled to
+    ``[0, 1]``.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2 or X.shape[0] < 2:
+        raise DataValidationError(
+            f"need at least two points in a 2-D array, got shape {X.shape}"
+        )
+    seg = np.linalg.norm(np.diff(X, axis=0), axis=1)
+    cum = np.concatenate([[0.0], np.cumsum(seg)])
+    total = cum[-1]
+    if total <= 0.0:
+        return np.linspace(0.0, 1.0, X.shape[0])
+    return cum / total
+
+
+def fit_bezier_least_squares(
+    X: np.ndarray,
+    degree: int = 3,
+    parameters: Optional[np.ndarray] = None,
+    n_refinements: int = 5,
+    parameterization: Literal["chord", "uniform"] = "chord",
+    ridge: float = 0.0,
+) -> BezierFitResult:
+    """Fit an unconstrained Bezier curve to points by least squares.
+
+    Alternates (a) solving the linear system for control points given
+    parameters with (b) re-projecting the points onto the fitted curve
+    to refresh the parameters — Pastva's classical loop.
+
+    Parameters
+    ----------
+    X:
+        Points of shape ``(n, d)``, assumed roughly ordered along the
+        curve when ``parameters`` is omitted.
+    degree:
+        Bezier degree ``k`` (``n`` must exceed ``k``).
+    parameters:
+        Optional initial ``s_i``; computed from the chosen
+        parameterization when omitted.
+    n_refinements:
+        Projection/solve sweeps after the initial solve.
+    parameterization:
+        ``"chord"`` (default) or ``"uniform"`` initial parameters.
+    ridge:
+        Optional Tikhonov damping on the normal equations, useful when
+        parameters cluster and the design matrix degenerates.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise DataValidationError(f"X must be 2-D, got ndim={X.ndim}")
+    n, _d = X.shape
+    if degree < 1:
+        raise ConfigurationError(f"degree must be >= 1, got {degree}")
+    if n <= degree:
+        raise ConfigurationError(
+            f"need more points than degree+0: n={n}, degree={degree}"
+        )
+    if ridge < 0.0:
+        raise ConfigurationError(f"ridge must be >= 0, got {ridge}")
+
+    if parameters is not None:
+        s = np.asarray(parameters, dtype=float).ravel()
+        if s.size != n:
+            raise DataValidationError(
+                f"{s.size} parameters for {n} points"
+            )
+    elif parameterization == "chord":
+        s = chord_length_parameters(X)
+    elif parameterization == "uniform":
+        s = np.linspace(0.0, 1.0, n)
+    else:
+        raise ConfigurationError(
+            f"unknown parameterization {parameterization!r}"
+        )
+
+    curve = _solve_control_points(X, s, degree, ridge)
+    residual = _residual(X, curve, s)
+    iterations = 0
+    for iterations in range(1, n_refinements + 1):
+        s = curve.project(X)
+        curve = _solve_control_points(X, s, degree, ridge)
+        new_residual = _residual(X, curve, s)
+        if residual - new_residual < 1e-12:
+            residual = new_residual
+            break
+        residual = new_residual
+    return BezierFitResult(
+        curve=curve,
+        parameters=s,
+        residual=residual,
+        n_iterations=iterations,
+    )
+
+
+def _solve_control_points(
+    X: np.ndarray, s: np.ndarray, degree: int, ridge: float
+) -> BezierCurve:
+    """Linear least-squares control points for fixed parameters."""
+    B = bernstein_design_matrix(degree, s)  # (n, k+1)
+    if ridge > 0.0:
+        gram = B.T @ B + ridge * np.eye(degree + 1)
+        P = np.linalg.solve(gram, B.T @ X).T
+    else:
+        P, *_ = np.linalg.lstsq(B, X, rcond=None)
+        P = P.T
+    return BezierCurve(P)
+
+
+def _residual(X: np.ndarray, curve: BezierCurve, s: np.ndarray) -> float:
+    return float(np.sum(curve.projection_residuals(X, s) ** 2))

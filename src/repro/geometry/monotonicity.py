@@ -1,0 +1,156 @@
+"""Monotonicity certificates for Bezier curves.
+
+Proposition 1 of the paper: a cubic Bezier curve with end points pinned
+at opposite corners of ``[0, 1]^d`` (via the direction vector
+``alpha``) and interior control points strictly inside ``(0, 1)^d`` is
+strictly monotone in every coordinate.  This module provides
+
+* :func:`check_rpc_constraints` — validate the constraint set that
+  *guarantees* monotonicity for the RPC model;
+* :func:`is_coordinatewise_monotone` — a certificate for arbitrary
+  Bezier curves based on the hodograph's control-point signs (a
+  sufficient condition: Bernstein coefficients of one sign imply a
+  derivative of that sign);
+* :func:`empirical_monotonicity_violations` — a dense sampling check
+  used to test curves that fail the certificate, and to demonstrate the
+  Fig. 2 failure modes of unconstrained principal curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import MonotonicityError
+from repro.geometry.bezier import BezierCurve
+from repro.geometry.cubic import pinned_endpoints, validate_direction_vector
+
+
+def check_rpc_constraints(
+    control_points: np.ndarray,
+    alpha: np.ndarray,
+    atol: float = 1e-9,
+) -> None:
+    """Raise :class:`MonotonicityError` unless RPC constraints hold.
+
+    Checks (i) the end points equal ``(1 -/+ alpha) / 2`` and (ii) all
+    interior control points lie strictly inside ``(0, 1)^d``.
+    """
+    P = np.asarray(control_points, dtype=float)
+    alpha = validate_direction_vector(alpha, d=P.shape[0])
+    p0, p_end = pinned_endpoints(alpha)
+    if not np.allclose(P[:, 0], p0, atol=atol):
+        raise MonotonicityError(
+            f"first end point must be (1 - alpha)/2 = {p0}, got {P[:, 0]}"
+        )
+    if not np.allclose(P[:, -1], p_end, atol=atol):
+        raise MonotonicityError(
+            f"last end point must be (1 + alpha)/2 = {p_end}, got {P[:, -1]}"
+        )
+    interior = P[:, 1:-1]
+    if interior.size and (np.any(interior <= 0.0) or np.any(interior >= 1.0)):
+        raise MonotonicityError(
+            "interior control points must lie strictly inside (0, 1)^d; "
+            f"got min={interior.min():.6g}, max={interior.max():.6g}"
+        )
+
+
+def clip_to_interior(
+    control_points: np.ndarray,
+    alpha: np.ndarray,
+    margin: float = 1e-6,
+) -> np.ndarray:
+    """Project control points onto the RPC-feasible set.
+
+    Used after each Richardson step of Algorithm 1: the end points are
+    re-pinned to the hypercube corners prescribed by ``alpha`` and the
+    interior points are clipped into ``[margin, 1 - margin]^d`` so that
+    Proposition 1 continues to certify strict monotonicity.
+    """
+    P = np.array(control_points, dtype=float, copy=True)
+    alpha = validate_direction_vector(alpha, d=P.shape[0])
+    p0, p_end = pinned_endpoints(alpha)
+    P[:, 0] = p0
+    P[:, -1] = p_end
+    P[:, 1:-1] = np.clip(P[:, 1:-1], margin, 1.0 - margin)
+    return P
+
+
+def is_coordinatewise_monotone(
+    curve: BezierCurve,
+    alpha: np.ndarray,
+    strict: bool = True,
+) -> bool:
+    """Sufficient certificate of coordinatewise monotonicity.
+
+    The derivative of a Bezier curve is itself a Bezier curve whose
+    control points are the scaled forward differences of the original
+    control points (Eq.(17)).  Because Bernstein polynomials are
+    non-negative on ``[0, 1]``, *all forward differences of coordinate
+    ``j`` sharing the sign of ``alpha_j``* certifies that coordinate is
+    monotone in the direction ``alpha_j``.  The converse does not hold,
+    so a ``False`` return means "not certified", not "not monotone" —
+    use :func:`empirical_monotonicity_violations` to actually hunt for
+    violations.
+    """
+    alpha = validate_direction_vector(alpha, d=curve.dimension)
+    diffs = np.diff(curve.control_points, axis=1)  # (d, k)
+    signed = diffs * alpha[:, np.newaxis]
+    if strict:
+        return bool(np.all(signed > 0.0))
+    return bool(np.all(signed >= 0.0))
+
+
+@dataclass
+class ViolationReport:
+    """Result of a dense empirical monotonicity scan.
+
+    Attributes
+    ----------
+    n_samples:
+        Number of parameter steps examined.
+    n_violations:
+        Count of steps where some coordinate moved against ``alpha``.
+    worst_step:
+        The most negative signed coordinate increment observed (0 when
+        the curve is monotone on the sample grid).
+    violating_parameters:
+        Parameter values at the start of each violating step.
+    """
+
+    n_samples: int
+    n_violations: int
+    worst_step: float
+    violating_parameters: np.ndarray
+
+    @property
+    def is_monotone(self) -> bool:
+        """True when no violating step was found on the grid."""
+        return self.n_violations == 0
+
+
+def empirical_monotonicity_violations(
+    curve: BezierCurve,
+    alpha: np.ndarray,
+    n_samples: int = 2048,
+) -> ViolationReport:
+    """Scan the curve on a dense grid for coordinate reversals.
+
+    For each consecutive grid pair ``(s_t, s_{t+1})`` the signed
+    increments ``alpha_j * (f_j(s_{t+1}) - f_j(s_t))`` are checked; a
+    negative value means coordinate ``j`` moved against the required
+    direction somewhere inside the step.
+    """
+    alpha = validate_direction_vector(alpha, d=curve.dimension)
+    grid = np.linspace(0.0, 1.0, n_samples)
+    pts = curve.evaluate(grid)  # (d, n)
+    signed_steps = np.diff(pts, axis=1) * alpha[:, np.newaxis]
+    violating = np.any(signed_steps < 0.0, axis=0)
+    worst = float(signed_steps.min()) if signed_steps.size else 0.0
+    return ViolationReport(
+        n_samples=n_samples,
+        n_violations=int(np.count_nonzero(violating)),
+        worst_step=min(worst, 0.0),
+        violating_parameters=grid[:-1][violating],
+    )

@@ -1,0 +1,98 @@
+"""Pseudo-inverse solves with conditioning diagnostics.
+
+Eq.(26) of the paper gives the closed-form control-point update
+``P = X (M Z)^+`` but immediately warns that ``(M Z)^+`` is expensive
+and numerically treacherous when ``Z`` is ill-conditioned — the very
+motivation for the Richardson update of Eq.(27).  We keep the
+closed-form path available (the ``update="pinv"`` ablation) and expose
+condition-number diagnostics so the benchmark can demonstrate *why* the
+paper prefers Richardson.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+
+
+@dataclass
+class SolveDiagnostics:
+    """Conditioning information attached to a pseudo-inverse solve.
+
+    Attributes
+    ----------
+    condition_number:
+        Ratio of the largest to the smallest *retained* singular value.
+    rank:
+        Numerical rank at the given cutoff.
+    singular_values:
+        Full spectrum of the system matrix, descending.
+    """
+
+    condition_number: float
+    rank: int
+    singular_values: np.ndarray
+
+
+def pinv_solve(
+    G: np.ndarray,
+    X: np.ndarray,
+    rcond: float = 1e-12,
+) -> tuple[np.ndarray, SolveDiagnostics]:
+    """Solve ``min_P ‖X − P G‖_F`` via the Moore–Penrose pseudo-inverse.
+
+    Parameters
+    ----------
+    G:
+        Design matrix of shape ``(m, n)`` — in RPC terms, ``M Z`` with
+        ``m = 4`` Bernstein coefficients and ``n`` data points.
+    X:
+        Targets of shape ``(d, n)``.
+    rcond:
+        Relative cutoff for small singular values, forwarded to the SVD
+        truncation.
+
+    Returns
+    -------
+    (P, diagnostics):
+        The least-squares solution ``P = X G^+`` of shape ``(d, m)`` and
+        the conditioning report.
+    """
+    G = np.asarray(G, dtype=float)
+    X = np.asarray(X, dtype=float)
+    if G.ndim != 2 or X.ndim != 2:
+        raise ConfigurationError("G and X must both be 2-D matrices")
+    if G.shape[1] != X.shape[1]:
+        raise ConfigurationError(
+            f"G has {G.shape[1]} columns but X has {X.shape[1]}; both index "
+            "the same data points and must agree"
+        )
+    U, s, Vt = np.linalg.svd(G, full_matrices=False)
+    cutoff = rcond * (s[0] if s.size else 0.0)
+    retained = s > cutoff
+    rank = int(np.count_nonzero(retained))
+    inv_s = np.zeros_like(s)
+    inv_s[retained] = 1.0 / s[retained]
+    # G^+ = V diag(1/s) U^T, so P = X G^+ = X V diag(1/s) U^T.
+    P = X @ Vt.T @ np.diag(inv_s) @ U.T
+    if rank:
+        cond = float(s[0] / s[retained][-1])
+    else:
+        cond = np.inf
+    return P, SolveDiagnostics(
+        condition_number=cond,
+        rank=rank,
+        singular_values=s,
+    )
+
+
+def condition_number(G: np.ndarray) -> float:
+    """2-norm condition number of a matrix (inf when singular)."""
+    G = np.asarray(G, dtype=float)
+    s = np.linalg.svd(G, compute_uv=False)
+    if s.size == 0 or s[-1] == 0.0:
+        return np.inf
+    return float(s[0] / s[-1])

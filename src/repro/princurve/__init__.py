@@ -1,0 +1,38 @@
+"""Principal-curve substrate and the paper's comparator models.
+
+* :mod:`repro.princurve.base` — common fit/score interface and shared
+  polyline projection.
+* :mod:`repro.princurve.smoothers` — scatterplot smoothers (kernel,
+  local linear, running mean).
+* :mod:`repro.princurve.hastie_stuetzle` — the classic smooth
+  principal curve (Fig. 5(c) comparator: smooth but not monotone).
+* :mod:`repro.princurve.polyline` — Kégl-style polygonal line
+  (Fig. 5(b) comparator: neither smooth nor strictly monotone).
+* :mod:`repro.princurve.elmap` — the Gorban–Zinovyev elastic map, the
+  paper's Table 2 comparator.
+"""
+
+from repro.princurve.base import PrincipalCurveModel, project_to_polyline
+from repro.princurve.elmap import ElasticMapCurve
+from repro.princurve.hastie_stuetzle import HastieStuetzleCurve
+from repro.princurve.polyline import PolygonalLineCurve
+from repro.princurve.probabilistic import TibshiraniCurve
+from repro.princurve.smoothers import (
+    SMOOTHERS,
+    kernel_smooth,
+    local_linear_smooth,
+    running_mean_smooth,
+)
+
+__all__ = [
+    "SMOOTHERS",
+    "ElasticMapCurve",
+    "HastieStuetzleCurve",
+    "PolygonalLineCurve",
+    "PrincipalCurveModel",
+    "TibshiraniCurve",
+    "kernel_smooth",
+    "local_linear_smooth",
+    "project_to_polyline",
+    "running_mean_smooth",
+]

@@ -1,0 +1,183 @@
+"""Common interface for principal-curve models.
+
+Appendix A of the paper reviews principal curves: a smooth 1-D manifold
+``f(s)`` summarising a data cloud, with each point projected to its
+nearest curve location (the projection index ``s_f(x)`` of Eq.(A-2))
+and quality measured by the expected squared distance ``J(f)`` of
+Eq.(A-3).  Every comparator we implement — Hastie–Stuetzle, the Kégl
+polygonal line, and the Gorban–Zinovyev elastic map — realises this
+interface so that the evaluation layer can treat RPC and all baselines
+uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.core.exceptions import DataValidationError, NotFittedError
+
+
+class PrincipalCurveModel(abc.ABC):
+    """Abstract base for 1-D principal-curve fitters.
+
+    Subclasses implement :meth:`_fit` and :meth:`_project`; the base
+    class provides validation, the not-fitted guard, projection-index
+    scoring and the explained-variance metric used throughout the
+    experiments.
+
+    Parameters
+    ----------
+    orient_alpha:
+        Optional task direction vector.  A principal curve's arc-length
+        direction is arbitrary (the curve may run best-to-worst); when
+        ``orient_alpha`` is given, the fitted scores are flipped if they
+        anti-correlate with the naive signed attribute sum
+        ``X @ alpha`` on the training data, so that *higher score =
+        better object*.  This mirrors how a practitioner would orient
+        Elmap's output before publishing a ranking list, and it is the
+        only task knowledge the baselines receive.
+    """
+
+    def __init__(self, orient_alpha: Optional[np.ndarray] = None) -> None:
+        self._fitted_X: Optional[np.ndarray] = None
+        self.orient_alpha = (
+            None
+            if orient_alpha is None
+            else np.asarray(orient_alpha, dtype=float).ravel()
+        )
+        self._flip: bool = False
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _fit(self, X: np.ndarray) -> None:
+        """Fit internal curve state on validated data."""
+
+    @abc.abstractmethod
+    def _project(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(s, points)``: projection indices scaled to ``[0, 1]``
+        and the projected curve points of shape ``(n, d)``."""
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray) -> "PrincipalCurveModel":
+        """Fit the curve on a data matrix of shape ``(n, d)``."""
+        X = self._validate(X)
+        self._fit(X)
+        self._fitted_X = X
+        self._flip = False
+        if self.orient_alpha is not None:
+            if self.orient_alpha.size != X.shape[1]:
+                raise DataValidationError(
+                    f"orient_alpha has {self.orient_alpha.size} entries but "
+                    f"data has {X.shape[1]} attributes"
+                )
+            s, _points = self._project(X)
+            reference = X @ self.orient_alpha
+            if np.std(s) > 0 and np.std(reference) > 0:
+                corr = float(np.corrcoef(s, reference)[0, 1])
+                self._flip = corr < 0.0
+        return self
+
+    def score_samples(self, X: np.ndarray) -> np.ndarray:
+        """Projection indices — the curve's ranking scores.
+
+        Raw indices live in ``[0, 1]`` (or are mean-centred for the
+        elastic map); when orientation flipped at fit time the scores
+        are negated so higher always means better for oriented models.
+        """
+        self._require_fit()
+        X = self._validate(X)
+        s, _points = self._project(X)
+        return -s if self._flip else s
+
+    def project_points(self, X: np.ndarray) -> np.ndarray:
+        """Nearest curve points ``f(s_f(x))`` for each row, shape ``(n, d)``."""
+        self._require_fit()
+        X = self._validate(X)
+        _s, points = self._project(X)
+        return points
+
+    def reconstruction_error(self, X: np.ndarray) -> float:
+        """Empirical ``J(f)``: summed squared distances to the curve."""
+        points = self.project_points(X)
+        X = np.asarray(X, dtype=float)
+        return float(np.sum((X - points) ** 2))
+
+    def explained_variance(self, X: np.ndarray) -> float:
+        """``1 − SS_residual / SS_total`` of the curve fit."""
+        X = self._validate(X)
+        ss_res = self.reconstruction_error(X)
+        ss_tot = float(np.sum((X - X.mean(axis=0)) ** 2))
+        if ss_tot <= 0.0:
+            return 1.0
+        return 1.0 - ss_res / ss_tot
+
+    # ------------------------------------------------------------------
+    def _require_fit(self) -> None:
+        if self._fitted_X is None:
+            raise NotFittedError(type(self).__name__)
+
+    @staticmethod
+    def _validate(X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise DataValidationError(f"X must be 2-D, got ndim={X.ndim}")
+        if X.shape[0] < 2:
+            raise DataValidationError(
+                f"need at least 2 data points, got {X.shape[0]}"
+            )
+        if not np.all(np.isfinite(X)):
+            raise DataValidationError("X contains NaN or inf entries")
+        return X
+
+
+def project_to_polyline(
+    X: np.ndarray, vertices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Project points onto a polyline, returning arc-length indices.
+
+    Parameters
+    ----------
+    X:
+        Points of shape ``(n, d)``.
+    vertices:
+        Ordered polyline vertices of shape ``(m, d)``, ``m >= 2``.
+
+    Returns
+    -------
+    (s, points):
+        ``s`` — normalised arc-length position in ``[0, 1]`` of each
+        projection; ``points`` — the projected coordinates, ``(n, d)``.
+
+    This helper is shared by the polygonal-line model, the elastic map
+    (whose fitted node chain is a polyline) and the Hastie–Stuetzle
+    implementation (whose smoothed curve is stored as a dense polyline).
+    """
+    X = np.asarray(X, dtype=float)
+    V = np.asarray(vertices, dtype=float)
+    if V.ndim != 2 or V.shape[0] < 2:
+        raise DataValidationError(
+            f"polyline needs >= 2 vertices in a 2-D array, got shape {V.shape}"
+        )
+    seg_start = V[:-1]  # (m-1, d)
+    seg_vec = V[1:] - V[:-1]  # (m-1, d)
+    seg_len2 = np.sum(seg_vec**2, axis=1)
+    seg_len2 = np.where(seg_len2 <= 0.0, 1e-30, seg_len2)
+    seg_len = np.sqrt(seg_len2)
+    cum_len = np.concatenate([[0.0], np.cumsum(seg_len)])
+    total = cum_len[-1] if cum_len[-1] > 0 else 1.0
+
+    # Parameter of each point on each segment, clamped to [0, 1]:
+    # t[i, k] = <x_i - v_k, e_k> / |e_k|^2.
+    diff = X[:, np.newaxis, :] - seg_start[np.newaxis, :, :]  # (n, m-1, d)
+    t = np.einsum("nkd,kd->nk", diff, seg_vec) / seg_len2[np.newaxis, :]
+    t = np.clip(t, 0.0, 1.0)
+    proj = seg_start[np.newaxis, :, :] + t[:, :, np.newaxis] * seg_vec[np.newaxis, :, :]
+    dist2 = np.sum((X[:, np.newaxis, :] - proj) ** 2, axis=2)  # (n, m-1)
+    best = np.argmin(dist2, axis=1)
+    idx = np.arange(X.shape[0])
+    points = proj[idx, best]
+    s = (cum_len[best] + t[idx, best] * seg_len[best]) / total
+    return s, points

@@ -1,0 +1,162 @@
+"""Kégl-style polygonal-line principal curves.
+
+Kégl, Krzyżak, Linder & Zeger (2000) fit a principal curve as a
+polyline with a growing number of vertices, alternating a projection
+step with a penalised vertex-optimisation step.  The RPC paper uses
+polyline approximations as the canonical example of a ranking rule that
+violates two meta-rules:
+
+* **smoothness** — the projection index is only C⁰ at vertex Voronoi
+  boundaries (Fig. 2(a)'s kink);
+* **strict monotonicity** — a horizontal/vertical segment maps many
+  distinct points to the same score (Example 1's x1, x2).
+
+This implementation follows the spirit of the published algorithm at a
+scale adequate for the reproduction: vertices are inserted at the
+segment with the largest local reconstruction error, and vertex
+positions are relaxed towards the mean of their assigned points with a
+curvature (angle) penalty.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.princurve.base import PrincipalCurveModel, project_to_polyline
+
+
+class PolygonalLineCurve(PrincipalCurveModel):
+    """Principal curve as a penalised polygonal line.
+
+    Parameters
+    ----------
+    n_vertices:
+        Final number of polyline vertices (>= 2).  The classic heuristic
+        of ``O(n^{1/3})`` vertices is a good default for data of a few
+        hundred points.
+    curvature_penalty:
+        Weight of the angle penalty pulling each interior vertex toward
+        the midpoint of its neighbours; larger values give straighter
+        lines.
+    n_relaxations:
+        Vertex-optimisation sweeps performed after every insertion.
+    """
+
+    def __init__(
+        self,
+        n_vertices: int = 8,
+        curvature_penalty: float = 0.1,
+        n_relaxations: int = 10,
+        orient_alpha: Optional[np.ndarray] = None,
+    ):
+        super().__init__(orient_alpha=orient_alpha)
+        if n_vertices < 2:
+            raise ConfigurationError(f"n_vertices must be >= 2, got {n_vertices}")
+        if curvature_penalty < 0.0:
+            raise ConfigurationError(
+                f"curvature_penalty must be >= 0, got {curvature_penalty}"
+            )
+        self.n_vertices = int(n_vertices)
+        self.curvature_penalty = float(curvature_penalty)
+        self.n_relaxations = int(n_relaxations)
+        self.vertices_: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def _fit(self, X: np.ndarray) -> None:
+        # Start from the first-principal-component segment spanning the
+        # data (the paper's initialisation).
+        mean = X.mean(axis=0)
+        centred = X - mean
+        _u, _s, vt = np.linalg.svd(centred, full_matrices=False)
+        direction = vt[0]
+        proj = centred @ direction
+        lo, hi = float(proj.min()), float(proj.max())
+        vertices = np.vstack([mean + lo * direction, mean + hi * direction])
+
+        while True:
+            vertices = self._relax(X, vertices)
+            if vertices.shape[0] >= self.n_vertices:
+                break
+            vertices = self._insert_vertex(X, vertices)
+
+        self.vertices_ = vertices
+
+    def _relax(self, X: np.ndarray, vertices: np.ndarray) -> np.ndarray:
+        """Vertex-optimisation sweeps at fixed topology."""
+        V = vertices.copy()
+        for _ in range(self.n_relaxations):
+            s, _points = project_to_polyline(X, V)
+            # Assign each point to its nearest vertex along the line.
+            cum = _cumulative_arclength(V)
+            assignment = np.argmin(
+                np.abs(s[:, np.newaxis] - cum[np.newaxis, :]), axis=1
+            )
+            new_V = V.copy()
+            for k in range(V.shape[0]):
+                assigned = X[assignment == k]
+                target = assigned.mean(axis=0) if assigned.size else V[k]
+                if 0 < k < V.shape[0] - 1 and self.curvature_penalty > 0.0:
+                    midpoint = 0.5 * (V[k - 1] + V[k + 1])
+                    w = self.curvature_penalty
+                    target = (target + w * midpoint) / (1.0 + w)
+                new_V[k] = target
+            if np.allclose(new_V, V, atol=1e-12):
+                V = new_V
+                break
+            V = new_V
+        return V
+
+    @staticmethod
+    def _insert_vertex(X: np.ndarray, vertices: np.ndarray) -> np.ndarray:
+        """Split the segment carrying the largest reconstruction error."""
+        s, points = project_to_polyline(X, vertices)
+        cum = _cumulative_arclength(vertices)
+        errors = np.sum((X - points) ** 2, axis=1)
+        seg_of_point = np.clip(
+            np.searchsorted(cum, s, side="right") - 1, 0, vertices.shape[0] - 2
+        )
+        seg_error = np.zeros(vertices.shape[0] - 1)
+        np.add.at(seg_error, seg_of_point, errors)
+        worst = int(np.argmax(seg_error))
+        midpoint = 0.5 * (vertices[worst] + vertices[worst + 1])
+        return np.insert(vertices, worst + 1, midpoint, axis=0)
+
+    def _project(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        assert self.vertices_ is not None
+        return project_to_polyline(X, self.vertices_)
+
+    # ------------------------------------------------------------------
+    # Meta-rule capability declarations
+    # ------------------------------------------------------------------
+    @property
+    def has_linear_capacity(self) -> bool:
+        """A two-vertex polyline is a straight line."""
+        return True
+
+    @property
+    def has_nonlinear_capacity(self) -> bool:
+        """More vertices approximate any continuous curve."""
+        return True
+
+    @property
+    def parameter_size(self) -> Optional[int]:
+        """``n_vertices x d`` — known, but the projection is not smooth.
+
+        Explicitness holds for the polyline; it is smoothness and
+        strict monotonicity that fail (Fig. 2(a)), which the
+        meta-rule report demonstrates.
+        """
+        if self.vertices_ is None:
+            return None
+        return int(self.vertices_.size)
+
+
+def _cumulative_arclength(vertices: np.ndarray) -> np.ndarray:
+    """Normalised cumulative arc length of each vertex in ``[0, 1]``."""
+    seg = np.linalg.norm(np.diff(vertices, axis=0), axis=1)
+    cum = np.concatenate([[0.0], np.cumsum(seg)])
+    total = cum[-1] if cum[-1] > 0 else 1.0
+    return cum / total

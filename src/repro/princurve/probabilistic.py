@@ -1,0 +1,195 @@
+"""Tibshirani-style probabilistic principal curves (reference [30]).
+
+Tibshirani (1992) recast principal curves generatively: a latent
+coordinate ``s`` is drawn from a prior over curve nodes, and the
+observation is Gaussian around the curve point,
+
+    ``x | s ~ N(f(s), sigma^2 I)``.
+
+Fitting maximises the (penalised) likelihood by EM: the E-step
+computes soft responsibilities of every node for every point, the
+M-step re-estimates node locations (with a second-difference roughness
+penalty keeping the chain smooth) and the noise variance.
+
+The RPC paper's Appendix A criticism of this family — "employed
+Gaussian mixture model to generally formulate the principal curve
+which brings model bias and makes interpretation even harder" — is
+testable here: the model's effective parameter count is the full node
+set plus mixture machinery (``parameter_size`` is ``None``), and its
+scores carry no monotonicity guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.princurve.base import PrincipalCurveModel, project_to_polyline
+
+
+class TibshiraniCurve(PrincipalCurveModel):
+    """EM-fitted probabilistic principal curve.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of latent curve nodes (mixture components).
+    smoothness:
+        Weight of the second-difference roughness penalty on node
+        locations; 0 reduces to a plain Gaussian mixture along the
+        initial ordering.
+    max_iter:
+        EM iteration cap.
+    tol:
+        Relative log-likelihood improvement stopping threshold.
+    min_variance:
+        Floor on the shared noise variance (prevents collapse).
+    orient_alpha:
+        Optional task direction for score orientation (see base class).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int = 25,
+        smoothness: float = 1e-3,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        min_variance: float = 1e-8,
+        orient_alpha: Optional[np.ndarray] = None,
+    ):
+        super().__init__(orient_alpha=orient_alpha)
+        if n_nodes < 3:
+            raise ConfigurationError(f"n_nodes must be >= 3, got {n_nodes}")
+        if smoothness < 0:
+            raise ConfigurationError(
+                f"smoothness must be >= 0, got {smoothness}"
+            )
+        self.n_nodes = int(n_nodes)
+        self.smoothness = float(smoothness)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.min_variance = float(min_variance)
+        self.nodes_: Optional[np.ndarray] = None
+        self.variance_: float = float("nan")
+        self.log_likelihood_trace_: list[float] = []
+
+    # ------------------------------------------------------------------
+    def _fit(self, X: np.ndarray) -> None:
+        n, d = X.shape
+        m = self.n_nodes
+        # Initialise nodes along the first principal component.
+        mean = X.mean(axis=0)
+        centred = X - mean
+        _u, sv, vt = np.linalg.svd(centred, full_matrices=False)
+        direction = vt[0]
+        proj = centred @ direction
+        ts = np.linspace(float(proj.min()), float(proj.max()), m)
+        nodes = mean[np.newaxis, :] + ts[:, np.newaxis] * direction[np.newaxis, :]
+        variance = max(
+            float(np.mean(np.sum(centred**2, axis=1))) / d * 0.25,
+            self.min_variance,
+        )
+
+        # Roughness penalty quadratic form (second differences).
+        D = np.zeros((m - 2, m))
+        for k in range(m - 2):
+            D[k, k] = 1.0
+            D[k, k + 1] = -2.0
+            D[k, k + 2] = 1.0
+        penalty = self.smoothness * (D.T @ D)
+
+        prev_ll = -np.inf
+        self.log_likelihood_trace_ = []
+        for _ in range(self.max_iter):
+            # E-step: responsibilities under equal node priors.
+            d2 = (
+                np.sum(X**2, axis=1)[:, np.newaxis]
+                - 2.0 * X @ nodes.T
+                + np.sum(nodes**2, axis=1)[np.newaxis, :]
+            )
+            log_resp = -0.5 * d2 / variance
+            log_norm = log_resp.max(axis=1, keepdims=True)
+            resp = np.exp(log_resp - log_norm)
+            resp_sum = resp.sum(axis=1, keepdims=True)
+            resp /= resp_sum
+
+            # Observed-data log-likelihood (up to constants shared
+            # across iterations for fixed d).
+            ll = float(
+                np.sum(np.log(resp_sum.ravel()) + log_norm.ravel())
+                - 0.5 * n * d * np.log(2.0 * np.pi * variance)
+                - np.log(m) * n
+            )
+            self.log_likelihood_trace_.append(ll)
+
+            # M-step: penalised node update solves
+            # (diag(Nk)/n + penalty') mu = R^T X / n with the penalty
+            # scaled by the variance so units match the likelihood.
+            weights = resp.sum(axis=0)  # (m,)
+            A = np.diag(weights / n) + penalty * variance
+            B = resp.T @ X / n
+            nodes = np.linalg.solve(A, B)
+
+            # Variance update.
+            d2_new = (
+                np.sum(X**2, axis=1)[:, np.newaxis]
+                - 2.0 * X @ nodes.T
+                + np.sum(nodes**2, axis=1)[np.newaxis, :]
+            )
+            variance = max(
+                float(np.sum(resp * d2_new)) / (n * d), self.min_variance
+            )
+
+            if ll - prev_ll < self.tol * max(abs(prev_ll), 1.0) and np.isfinite(
+                prev_ll
+            ):
+                break
+            prev_ll = ll
+
+        self.nodes_ = nodes
+        self.variance_ = variance
+
+    def _project(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        assert self.nodes_ is not None
+        return project_to_polyline(X, self.nodes_)
+
+    # ------------------------------------------------------------------
+    def posterior_responsibilities(self, X: np.ndarray) -> np.ndarray:
+        """Soft node assignments ``p(node | x)``, shape ``(n, m)``."""
+        self._require_fit()
+        assert self.nodes_ is not None
+        X = self._validate(X)
+        d2 = (
+            np.sum(X**2, axis=1)[:, np.newaxis]
+            - 2.0 * X @ self.nodes_.T
+            + np.sum(self.nodes_**2, axis=1)[np.newaxis, :]
+        )
+        log_resp = -0.5 * d2 / self.variance_
+        log_resp -= log_resp.max(axis=1, keepdims=True)
+        resp = np.exp(log_resp)
+        return resp / resp.sum(axis=1, keepdims=True)
+
+    # ------------------------------------------------------------------
+    # Meta-rule capability declarations
+    # ------------------------------------------------------------------
+    @property
+    def has_linear_capacity(self) -> bool:
+        """A heavily penalised chain degenerates to a line."""
+        return True
+
+    @property
+    def has_nonlinear_capacity(self) -> bool:
+        """The node chain bends with the data."""
+        return True
+
+    @property
+    def parameter_size(self) -> Optional[int]:
+        """Unknown — the paper's model-bias / interpretability critique.
+
+        The raw count (``m x d`` nodes + variance) is a resolution
+        artefact, not an interpretable model order, so the family
+        reports ``None`` like the other nonparametric curves.
+        """
+        return None

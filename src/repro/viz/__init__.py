@@ -1,0 +1,17 @@
+"""Terminal visualisation: ASCII scatter plots and pairwise panels.
+
+* :mod:`repro.viz.ascii` — character-grid scatter and bar charts.
+* :mod:`repro.viz.projections` — the Fig. 7/8 pairwise projection
+  series.
+"""
+
+from repro.viz.ascii import ascii_bars, ascii_scatter
+from repro.viz.projections import PairPanel, pairwise_panels, render_panels
+
+__all__ = [
+    "PairPanel",
+    "ascii_bars",
+    "ascii_scatter",
+    "pairwise_panels",
+    "render_panels",
+]

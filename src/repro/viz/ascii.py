@@ -1,0 +1,108 @@
+"""ASCII scatter/curve rendering for terminal examples.
+
+The repository has no plotting dependency; examples render 2-D
+projections of data clouds and fitted curves as character grids, enough
+to eyeball the Fig. 5 skeleton comparison and the Fig. 7/8 pairwise
+panels in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError, DataValidationError
+
+
+def ascii_scatter(
+    points: np.ndarray,
+    curve: Optional[np.ndarray] = None,
+    width: int = 60,
+    height: int = 20,
+    point_char: str = ".",
+    curve_char: str = "#",
+    title: Optional[str] = None,
+) -> str:
+    """Render a 2-D point cloud (and optional curve polyline) as text.
+
+    Parameters
+    ----------
+    points:
+        Data of shape ``(n, 2)``.
+    curve:
+        Optional curve sample of shape ``(m, 2)`` drawn over the
+        points.
+    width, height:
+        Character-grid size.
+    point_char, curve_char:
+        Glyphs for data and curve cells (curve wins on overlap).
+    title:
+        Optional heading line.
+
+    Returns
+    -------
+    A multi-line string; the y axis points up.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise DataValidationError(
+            f"points must have shape (n, 2), got {points.shape}"
+        )
+    if width < 4 or height < 4:
+        raise ConfigurationError(
+            f"grid must be at least 4x4, got {width}x{height}"
+        )
+    stacked = points if curve is None else np.vstack([points, curve])
+    lo = stacked.min(axis=0)
+    hi = stacked.max(axis=0)
+    span = np.where(hi - lo <= 0.0, 1.0, hi - lo)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(xy: np.ndarray, char: str) -> None:
+        cols = ((xy[:, 0] - lo[0]) / span[0] * (width - 1)).round().astype(int)
+        rows = ((xy[:, 1] - lo[1]) / span[1] * (height - 1)).round().astype(int)
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = char
+
+    plot(points, point_char)
+    if curve is not None:
+        curve = np.asarray(curve, dtype=float)
+        if curve.ndim != 2 or curve.shape[1] != 2:
+            raise DataValidationError(
+                f"curve must have shape (m, 2), got {curve.shape}"
+            )
+        plot(curve, curve_char)
+
+    lines = []
+    if title:
+        lines.append(title)
+    border = "+" + "-" * width + "+"
+    lines.append(border)
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append(border)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: list[str],
+    values: np.ndarray,
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart of non-negative values (e.g. scores)."""
+    values = np.asarray(values, dtype=float).ravel()
+    if len(labels) != values.size:
+        raise DataValidationError(
+            f"{len(labels)} labels for {values.size} values"
+        )
+    vmax = float(values.max()) if values.size else 1.0
+    vmax = vmax if vmax > 0 else 1.0
+    label_width = max((len(label) for label in labels), default=0) + 1
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(max(value, 0.0) / vmax * width))
+        lines.append(f"{label.ljust(label_width)}|{bar} {value:.4f}")
+    return "\n".join(lines)

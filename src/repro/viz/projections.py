@@ -1,0 +1,118 @@
+"""Pairwise 2-D projection series — the data behind Figs. 7 and 8.
+
+The paper visualises a fitted RPC in ``d`` dimensions as the ``d x d``
+grid of coordinate-pair panels: each panel shows the data cloud and the
+curve projected onto attributes ``(j, k)``.  This module produces those
+series numerically (for the benchmarks, which assert properties of the
+projected curves) and as ASCII panels (for the examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import DataValidationError
+from repro.geometry.bezier import BezierCurve
+from repro.viz.ascii import ascii_scatter
+
+
+@dataclass
+class PairPanel:
+    """One coordinate-pair panel of the projection grid.
+
+    Attributes
+    ----------
+    i, j:
+        Attribute indices of the panel (x axis = attribute ``i``).
+    data:
+        Data projected onto the pair, shape ``(n, 2)``.
+    curve:
+        Densely sampled curve projected onto the pair, ``(m, 2)``.
+    names:
+        Attribute names ``(name_i, name_j)``.
+    """
+
+    i: int
+    j: int
+    data: np.ndarray
+    curve: np.ndarray
+    names: tuple[str, str]
+
+    def curve_is_monotone(self, direction_i: float, direction_j: float) -> bool:
+        """Whether the projected curve moves monotonically in both axes."""
+        dx = np.diff(self.curve[:, 0]) * direction_i
+        dy = np.diff(self.curve[:, 1]) * direction_j
+        return bool(np.all(dx >= -1e-12) and np.all(dy >= -1e-12))
+
+
+def pairwise_panels(
+    X_unit: np.ndarray,
+    curve: BezierCurve,
+    attribute_names: Optional[Sequence[str]] = None,
+    n_curve_samples: int = 200,
+) -> list[PairPanel]:
+    """Build all ``d (d − 1) / 2`` off-diagonal panels of Fig. 7/8.
+
+    Parameters
+    ----------
+    X_unit:
+        Normalised data of shape ``(n, d)`` (unit-cube coordinates, as
+        plotted in the paper).
+    curve:
+        The fitted RPC in the same coordinates.
+    attribute_names:
+        Axis labels; defaults to ``x0..x{d-1}``.
+    n_curve_samples:
+        Resolution of the projected curve polyline.
+    """
+    X_unit = np.asarray(X_unit, dtype=float)
+    d = curve.dimension
+    if X_unit.ndim != 2 or X_unit.shape[1] != d:
+        raise DataValidationError(
+            f"X_unit must have shape (n, {d}), got {X_unit.shape}"
+        )
+    if attribute_names is None:
+        attribute_names = [f"x{k}" for k in range(d)]
+    if len(attribute_names) != d:
+        raise DataValidationError(
+            f"{len(attribute_names)} names for {d} attributes"
+        )
+    s = np.linspace(0.0, 1.0, n_curve_samples)
+    curve_pts = curve.evaluate(s).T  # (m, d)
+    panels = []
+    for i in range(d):
+        for j in range(i + 1, d):
+            panels.append(
+                PairPanel(
+                    i=i,
+                    j=j,
+                    data=X_unit[:, (i, j)].copy(),
+                    curve=curve_pts[:, (i, j)].copy(),
+                    names=(str(attribute_names[i]), str(attribute_names[j])),
+                )
+            )
+    return panels
+
+
+def render_panels(
+    panels: list[PairPanel],
+    width: int = 48,
+    height: int = 14,
+) -> str:
+    """ASCII rendering of all panels, one after the other."""
+    blocks = []
+    for panel in panels:
+        title = f"{panel.names[1]} vs {panel.names[0]}"
+        blocks.append(
+            ascii_scatter(
+                panel.data,
+                curve=panel.curve,
+                width=width,
+                height=height,
+                title=title,
+            )
+        )
+    return "\n\n".join(blocks)

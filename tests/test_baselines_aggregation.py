@@ -1,0 +1,193 @@
+"""Tests for weighted sum, rank aggregation and PageRank baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BordaCountAggregator,
+    MedianRankAggregator,
+    PageRankResult,
+    WeightedSumRanker,
+    attribute_rankings,
+    pagerank,
+)
+from repro.core.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    NotFittedError,
+)
+from repro.data.synthetic import sample_linked_graph
+from repro.data.toy import PAPER_TABLE1_RANKAGG, table1a_objects, table1b_objects
+
+
+class TestWeightedSum:
+    def test_uniform_weights_default(self):
+        model = WeightedSumRanker(alpha=[1, 1])
+        np.testing.assert_allclose(model.weights, [0.5, 0.5])
+
+    def test_scores_in_unit_interval(self, rng):
+        X = rng.uniform(10, 20, size=(40, 3))
+        model = WeightedSumRanker(alpha=[1, -1, 1]).fit(X)
+        s = model.score_samples(X)
+        assert s.min() >= 0.0 and s.max() <= 1.0
+
+    def test_best_corner_scores_one(self):
+        X = np.array([[0.0, 10.0], [5.0, 5.0], [10.0, 0.0]])
+        model = WeightedSumRanker(alpha=[1, -1]).fit(X)
+        s = model.score_samples(X)
+        assert s[2] == pytest.approx(1.0)  # high benefit, low cost
+        assert s[0] == pytest.approx(0.0)
+
+    def test_weights_normalised(self):
+        model = WeightedSumRanker(alpha=[1, 1], weights=[2.0, 6.0])
+        np.testing.assert_allclose(model.weights, [0.25, 0.75])
+
+    def test_invalid_weights(self):
+        with pytest.raises(ConfigurationError):
+            WeightedSumRanker(alpha=[1, 1], weights=[1.0])
+        with pytest.raises(ConfigurationError):
+            WeightedSumRanker(alpha=[1, 1], weights=[-1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            WeightedSumRanker(alpha=[1, 1], weights=[0.0, 0.0])
+
+    def test_capabilities(self):
+        model = WeightedSumRanker(alpha=[1, 1, 1])
+        assert model.has_linear_capacity
+        assert not model.has_nonlinear_capacity
+        assert model.parameter_size == 3
+
+    def test_not_fitted_raises(self):
+        with pytest.raises(NotFittedError):
+            WeightedSumRanker(alpha=[1, 1]).score_samples(np.ones((2, 2)))
+
+
+class TestAttributeRankings:
+    def test_positions_ascending_worst_first(self):
+        X = np.array([[3.0], [1.0], [2.0]])
+        pos = attribute_rankings(X, alpha=np.array([1.0]))
+        np.testing.assert_allclose(pos.ravel(), [3.0, 1.0, 2.0])
+
+    def test_cost_attribute_reverses(self):
+        X = np.array([[3.0], [1.0], [2.0]])
+        pos = attribute_rankings(X, alpha=np.array([-1.0]))
+        np.testing.assert_allclose(pos.ravel(), [1.0, 3.0, 2.0])
+
+    def test_midranks_for_ties(self):
+        X = np.array([[5.0], [5.0], [1.0]])
+        pos = attribute_rankings(X, alpha=np.array([1.0]))
+        np.testing.assert_allclose(pos.ravel(), [2.5, 2.5, 1.0])
+
+    def test_1d_raises(self):
+        with pytest.raises(DataValidationError):
+            attribute_rankings(np.ones(3), alpha=np.array([1.0]))
+
+
+class TestMedianRankAggregation:
+    def test_reproduces_table1a_values(self):
+        """The exact RankAgg column of Table 1(a): A=1.5, B=1.5, C=3."""
+        toy = table1a_objects()
+        model = MedianRankAggregator(alpha=toy.alpha)
+        kappa = model.aggregate_positions(toy.X)
+        for label, expected in PAPER_TABLE1_RANKAGG.items():
+            idx = toy.labels.index(label)
+            assert kappa[idx] == pytest.approx(expected), label
+
+    def test_cannot_distinguish_a_and_b(self):
+        toy = table1a_objects()
+        s = MedianRankAggregator(alpha=toy.alpha).score_samples(toy.X)
+        assert s[0] == pytest.approx(s[1])  # A and B tie — the failure
+
+    def test_insensitive_to_table1b_perturbation(self):
+        """Moving A to A' changes no per-attribute order, so RankAgg
+        keeps the exact same aggregate values (the paper's point)."""
+        a = table1a_objects()
+        b = table1b_objects()
+        model = MedianRankAggregator(alpha=a.alpha)
+        np.testing.assert_allclose(
+            model.aggregate_positions(a.X), model.aggregate_positions(b.X)
+        )
+
+    def test_higher_is_better_convention(self):
+        toy = table1a_objects()
+        s = MedianRankAggregator(alpha=toy.alpha).score_samples(toy.X)
+        assert np.argmax(s) == 2  # C is the best object
+
+    def test_capabilities(self):
+        model = MedianRankAggregator(alpha=[1, 1])
+        assert not model.has_linear_capacity
+        assert not model.has_nonlinear_capacity
+        assert model.parameter_size == 0
+
+
+class TestBordaCount:
+    def test_agrees_with_median_rank_order(self, rng):
+        X = rng.uniform(size=(20, 3))
+        alpha = np.array([1.0, -1.0, 1.0])
+        borda = BordaCountAggregator(alpha=alpha).score_samples(X)
+        median = MedianRankAggregator(alpha=alpha).score_samples(X)
+        # Same ordering (they are affinely related on complete lists).
+        np.testing.assert_array_equal(np.argsort(borda), np.argsort(median))
+
+    def test_winner_has_most_points(self):
+        X = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        s = BordaCountAggregator(alpha=[1, 1]).score_samples(X)
+        assert np.argmax(s) == 2
+        assert s[2] == pytest.approx(4.0)  # beats 2 rivals per attribute
+
+
+class TestPageRank:
+    def test_uniform_cycle_gives_uniform_scores(self):
+        # A directed cycle is perfectly symmetric.
+        n = 5
+        A = np.zeros((n, n))
+        for i in range(n):
+            A[i, (i + 1) % n] = 1.0
+        result = pagerank(A)
+        assert isinstance(result, PageRankResult)
+        assert result.converged
+        np.testing.assert_allclose(result.scores, 1.0 / n, atol=1e-8)
+
+    def test_scores_sum_to_one(self):
+        A = sample_linked_graph(30, seed=1)
+        result = pagerank(A)
+        assert result.scores.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_authority_ranks_highest(self):
+        # A star: everyone links to node 0.
+        n = 6
+        A = np.zeros((n, n))
+        A[1:, 0] = 1.0
+        A[0, 1] = 1.0  # node 0 links somewhere to avoid dangling
+        result = pagerank(A)
+        assert np.argmax(result.scores) == 0
+
+    def test_dangling_nodes_handled(self):
+        A = np.zeros((3, 3))
+        A[0, 1] = 1.0  # nodes 1 and 2 dangle
+        result = pagerank(A)
+        assert result.converged
+        assert result.scores.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_matches_power_iteration_oracle(self):
+        # Independent dense construction of the Google matrix.
+        A = sample_linked_graph(15, seed=2)
+        d = 0.85
+        n = A.shape[0]
+        T = A / A.sum(axis=1, keepdims=True)
+        G = d * T + (1 - d) / n
+        eigvals, eigvecs = np.linalg.eig(G.T)
+        lead = np.argmax(eigvals.real)
+        stationary = np.abs(eigvecs[:, lead].real)
+        stationary /= stationary.sum()
+        result = pagerank(A, damping=d, tol=1e-14)
+        np.testing.assert_allclose(result.scores, stationary, atol=1e-8)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DataValidationError):
+            pagerank(np.ones((2, 3)))
+        with pytest.raises(DataValidationError):
+            pagerank(-np.ones((2, 2)))
+        with pytest.raises(ConfigurationError):
+            pagerank(np.ones((2, 2)), damping=1.5)

@@ -1,0 +1,123 @@
+"""Tests for manifold ranking (Zhou et al., related work [3])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.manifold_ranking import (
+    ManifoldRanker,
+    affinity_matrix,
+    manifold_ranking_scores,
+    normalized_affinity,
+)
+from repro.core.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    NotFittedError,
+)
+from repro.data.synthetic import sample_crescent
+from repro.evaluation.metrics import spearman_rho
+
+
+class TestAffinity:
+    def test_symmetric_zero_diagonal(self, rng):
+        X = rng.uniform(size=(20, 3))
+        W = affinity_matrix(X)
+        np.testing.assert_allclose(W, W.T)
+        np.testing.assert_array_equal(np.diag(W), 0.0)
+        assert np.all(W >= 0.0)
+
+    def test_closer_points_higher_affinity(self):
+        X = np.array([[0.0, 0.0], [0.1, 0.0], [1.0, 1.0]])
+        W = affinity_matrix(X, sigma=0.3)
+        assert W[0, 1] > W[0, 2]
+
+    def test_invalid_sigma_raises(self):
+        with pytest.raises(ConfigurationError):
+            affinity_matrix(np.ones((3, 2)), sigma=0.0)
+
+    def test_normalized_affinity_spectrum(self, rng):
+        X = rng.uniform(size=(25, 2))
+        S = normalized_affinity(affinity_matrix(X))
+        eigvals = np.linalg.eigvalsh(S)
+        # Symmetric normalisation bounds the spectrum by 1.
+        assert eigvals.max() <= 1.0 + 1e-9
+
+    def test_nonsquare_raises(self):
+        with pytest.raises(DataValidationError):
+            normalized_affinity(np.ones((2, 3)))
+
+
+class TestClosedForm:
+    def test_query_scores_highest_nearby(self):
+        # Two clusters; query in cluster A: cluster A outranks B.
+        rng = np.random.default_rng(3)
+        a = rng.normal(0.0, 0.05, size=(15, 2))
+        b = rng.normal(1.0, 0.05, size=(15, 2)) + np.array([1.0, 1.0])
+        X = np.vstack([a, b])
+        F = manifold_ranking_scores(X, np.array([0]), sigma=0.3)
+        assert F[:15].mean() > F[15:].mean()
+
+    def test_matches_power_iteration(self, rng):
+        X = rng.uniform(size=(20, 2))
+        beta = 0.9
+        S = normalized_affinity(affinity_matrix(X, sigma=0.3))
+        Y = np.zeros(20)
+        Y[4] = 1.0
+        F_iter = Y.copy()
+        for _ in range(5000):
+            F_iter = beta * S @ F_iter + (1 - beta) * Y
+        F_closed = manifold_ranking_scores(X, np.array([4]), beta=beta, sigma=0.3)
+        # Closed form solves (I - beta S) F = Y; iteration converges to
+        # (1 - beta) times... normalise both to compare shapes.
+        np.testing.assert_allclose(
+            F_iter / F_iter.sum(), F_closed / F_closed.sum(), atol=1e-6
+        )
+
+    def test_invalid_inputs(self, rng):
+        X = rng.uniform(size=(10, 2))
+        with pytest.raises(ConfigurationError):
+            manifold_ranking_scores(X, np.array([0]), beta=1.0)
+        with pytest.raises(ConfigurationError):
+            manifold_ranking_scores(X, np.array([], dtype=int))
+        with pytest.raises(ConfigurationError):
+            manifold_ranking_scores(X, np.array([99]))
+
+
+class TestManifoldRanker:
+    def test_recovers_crescent_order(self):
+        cloud = sample_crescent(n=150, seed=4, width=0.02)
+        model = ManifoldRanker(alpha=[1, 1], sigma=0.15).fit(cloud.X)
+        rho = spearman_rho(model.score_samples(cloud.X), cloud.latent)
+        # Diffusion from the best-corner anchor orders the manifold
+        # from best to worst: strong negative-or-positive correlation,
+        # oriented so the anchor end scores highest.
+        assert abs(rho) > 0.9
+
+    def test_best_corner_anchor_scores_highest(self):
+        cloud = sample_crescent(n=150, seed=5, width=0.02)
+        model = ManifoldRanker(alpha=[1, 1], sigma=0.15).fit(cloud.X)
+        s = model.score_samples(cloud.X)
+        top = np.argmax(s)
+        # The top-scoring object is among the latent-best quartile.
+        assert cloud.latent[top] > np.quantile(cloud.latent, 0.75)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            ManifoldRanker(alpha=[1, 1]).score_samples(np.ones((2, 2)))
+
+    def test_dimension_mismatch_raises(self, rng):
+        model = ManifoldRanker(alpha=[1, 1])
+        with pytest.raises(DataValidationError):
+            model.fit(rng.uniform(size=(10, 3)))
+
+    def test_capabilities(self):
+        model = ManifoldRanker(alpha=[1, 1])
+        assert not model.has_linear_capacity
+        assert model.has_nonlinear_capacity
+        assert model.parameter_size is None
+
+    def test_invalid_anchors_raise(self):
+        with pytest.raises(ConfigurationError):
+            ManifoldRanker(alpha=[1, 1], n_anchors=0)

@@ -1,0 +1,120 @@
+"""Tests for the first-PCA and kernel-PCA ranking baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    NotFittedError,
+)
+from repro.baselines import FirstPCARanker, KernelPCARanker
+from repro.data.normalize import normalize_unit_cube
+from repro.data.synthetic import sample_crescent, sample_ellipse
+from repro.evaluation.metrics import spearman_rho
+
+
+class TestFirstPCA:
+    def test_recovers_latent_on_ellipse(self):
+        cloud = sample_ellipse(n=150, seed=1, noise=0.01)
+        model = FirstPCARanker(alpha=[1, 1]).fit(cloud.X)
+        rho = spearman_rho(model.score_samples(cloud.X), cloud.latent)
+        assert rho > 0.98
+
+    def test_orientation_towards_best_corner(self):
+        cloud = sample_ellipse(n=150, seed=2)
+        model = FirstPCARanker(alpha=[1, 1]).fit(cloud.X)
+        s = model.score_samples(cloud.X)
+        # Scores must increase with the attribute sum.
+        corr = np.corrcoef(s, cloud.X.sum(axis=1))[0, 1]
+        assert corr > 0.9
+
+    def test_cost_attribute_orientation(self):
+        # With alpha = (1, -1), increasing the cost must lower scores.
+        rng = np.random.default_rng(3)
+        t = rng.uniform(size=100)
+        X = np.column_stack([t, 1.0 - t]) + rng.normal(0, 0.01, (100, 2))
+        model = FirstPCARanker(alpha=[1, -1]).fit(X)
+        s = model.score_samples(X)
+        assert np.corrcoef(s, t)[0, 1] > 0.9
+
+    def test_explained_variance_lower_on_crescent(self):
+        straight = sample_ellipse(n=200, seed=4, eccentricity=0.99)
+        bent = sample_crescent(n=200, seed=4)
+        ev_straight = FirstPCARanker(alpha=[1, 1]).fit(
+            straight.X
+        ).explained_variance(straight.X)
+        ev_bent = FirstPCARanker(alpha=[1, 1]).fit(
+            bent.X
+        ).explained_variance(bent.X)
+        assert ev_straight > ev_bent
+
+    def test_capabilities(self):
+        model = FirstPCARanker(alpha=[1, 1, -1])
+        assert model.has_linear_capacity
+        assert not model.has_nonlinear_capacity
+        assert model.parameter_size == 6
+
+    def test_not_fitted_raises(self):
+        with pytest.raises(NotFittedError):
+            FirstPCARanker(alpha=[1, 1]).score_samples(np.ones((3, 2)))
+
+    def test_width_mismatch_raises(self):
+        model = FirstPCARanker(alpha=[1, 1]).fit(np.random.rand(10, 2))
+        with pytest.raises(DataValidationError):
+            model.score_samples(np.ones((3, 4)))
+
+
+class TestKernelPCA:
+    def test_scores_track_quality_on_curved_data(self):
+        cloud = sample_crescent(n=150, seed=5, width=0.02)
+        X = normalize_unit_cube(cloud.X)
+        model = KernelPCARanker(alpha=[1, 1], gamma=2.0).fit(X)
+        rho = spearman_rho(model.score_samples(X), cloud.latent)
+        assert abs(rho) > 0.8
+
+    def test_poly_kernel_runs(self):
+        cloud = sample_ellipse(n=100, seed=6)
+        model = KernelPCARanker(alpha=[1, 1], kernel="poly", degree=2)
+        model.fit(cloud.X)
+        assert model.score_samples(cloud.X).shape == (100,)
+
+    def test_out_of_sample_scoring(self):
+        cloud = sample_ellipse(n=100, seed=7)
+        model = KernelPCARanker(alpha=[1, 1]).fit(cloud.X[:80])
+        out = model.score_samples(cloud.X[80:])
+        assert out.shape == (20,)
+
+    def test_capabilities_rbf(self):
+        model = KernelPCARanker(alpha=[1, 1])
+        assert not model.has_linear_capacity
+        assert model.has_nonlinear_capacity
+        assert model.parameter_size is None  # the explicitness failure
+
+    def test_invalid_kernel_raises(self):
+        with pytest.raises(ConfigurationError):
+            KernelPCARanker(alpha=[1, 1], kernel="sigmoid")
+
+    def test_invalid_gamma_raises(self):
+        with pytest.raises(ConfigurationError):
+            KernelPCARanker(alpha=[1, 1], gamma=-1.0)
+
+    def test_not_fitted_raises(self):
+        with pytest.raises(NotFittedError):
+            KernelPCARanker(alpha=[1, 1]).score_samples(np.ones((2, 2)))
+
+    def test_not_order_preserving_on_dominated_pairs(self):
+        # The paper's criticism: the kernel map breaks order
+        # preservation.  Construct a dominated pair that RBF-kPCA
+        # mis-orders on a curved cloud.
+        cloud = sample_crescent(n=200, seed=8, width=0.05)
+        X = normalize_unit_cube(cloud.X)
+        model = KernelPCARanker(alpha=[1, 1], gamma=30.0).fit(X)
+        from repro.core.order import RankingOrder
+        from repro.evaluation.monotonicity import count_order_violations
+
+        order = RankingOrder(alpha=np.array([1.0, 1.0]))
+        summary = count_order_violations(model.score_samples, X, order)
+        assert summary.n_violations > 0

@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.synthetic import sample_monotone_cloud
+
+
+@pytest.fixture
+def ranking_csv(tmp_path):
+    """A small rankable CSV with two benefits and one cost."""
+    cloud = sample_monotone_cloud(
+        alpha=np.array([1.0, 1.0, -1.0]), n=40, seed=6, noise=0.02
+    )
+    path = tmp_path / "items.csv"
+    lines = ["item,quality,coverage,defects"]
+    for i, row in enumerate(cloud.X):
+        lines.append(f"item{i:02d},{row[0]},{row[1]},{row[2]}")
+    path.write_text("\n".join(lines) + "\n")
+    return path, cloud
+
+
+class TestParser:
+    def test_rank_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["rank", "data.csv", "--alpha", "+a,-b", "--top", "3"]
+        )
+        assert args.command == "rank"
+        assert args.csv_path == "data.csv"
+        assert args.top == 3
+
+    def test_demo_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(["demo", "countries"])
+        assert args.dataset == "countries"
+
+    def test_demo_rejects_unknown_dataset(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["demo", "planets"])
+
+
+class TestRankCommand:
+    def test_ranks_and_writes_output(self, ranking_csv, tmp_path, capsys):
+        path, cloud = ranking_csv
+        out_path = tmp_path / "ranking.csv"
+        code = main(
+            [
+                "rank",
+                str(path),
+                "--alpha",
+                "+quality,+coverage,-defects",
+                "--output",
+                str(out_path),
+                "--top",
+                "5",
+                "--restarts",
+                "1",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "ranked 40 objects" in captured.out
+        assert out_path.exists()
+        lines = out_path.read_text().strip().splitlines()
+        assert lines[0] == "position,label,score"
+        assert len(lines) == 41
+
+    def test_ranking_correlates_with_latent(self, ranking_csv, tmp_path):
+        path, cloud = ranking_csv
+        out_path = tmp_path / "ranking.csv"
+        main(
+            [
+                "rank",
+                str(path),
+                "--alpha",
+                "+quality,+coverage,-defects",
+                "--output",
+                str(out_path),
+                "--restarts",
+                "1",
+            ]
+        )
+        # Parse the output and check the best item has high latent.
+        import csv as csv_module
+
+        with out_path.open() as handle:
+            rows = list(csv_module.DictReader(handle))
+        best = rows[0]["label"]
+        idx = int(best.removeprefix("item"))
+        assert cloud.latent[idx] > np.quantile(cloud.latent, 0.7)
+
+    def test_bad_alpha_is_reported(self, ranking_csv, capsys):
+        path, _ = ranking_csv
+        code = main(["rank", str(path), "--alpha", "+nope"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_is_reported(self, capsys):
+        code = main(["rank", "/does/not/exist.csv", "--alpha", "+a"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDemoCommand:
+    def test_countries_demo_runs(self, capsys):
+        code = main(["demo", "countries", "--top", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "countries: 171 objects" in out
+
+    def test_journals_demo_runs(self, capsys):
+        code = main(["demo", "journals", "--top", "3"])
+        assert code == 0
+        assert "journals: 393 objects" in capsys.readouterr().out

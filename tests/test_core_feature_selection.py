@@ -1,0 +1,98 @@
+"""Tests for RPC-based feature selection (the paper's future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, DataValidationError
+from repro.core.feature_selection import (
+    attribute_importances,
+    select_features,
+)
+from repro.data.synthetic import sample_monotone_cloud
+
+
+@pytest.fixture(scope="module")
+def redundant_cloud():
+    """A 4-attribute cloud whose last attribute is pure noise."""
+    rng = np.random.default_rng(17)
+    base = sample_monotone_cloud(
+        alpha=np.array([1.0, 1.0, -1.0]), n=120, seed=17, noise=0.02
+    )
+    noise_col = rng.uniform(size=(120, 1))
+    X = np.hstack([base.X, noise_col])
+    alpha = np.array([1.0, 1.0, -1.0, 1.0])
+    return X, alpha, base.latent
+
+
+class TestAttributeImportances:
+    def test_report_shape(self, redundant_cloud):
+        X, alpha, _ = redundant_cloud
+        reports = attribute_importances(
+            X, alpha, attribute_names=["a", "b", "c", "noise"]
+        )
+        assert len(reports) == 4
+        assert [r.name for r in reports] == ["a", "b", "c", "noise"]
+        assert all(np.isfinite(r.curve_span) for r in reports)
+        assert all(-1.0 <= r.loo_tau <= 1.0 for r in reports)
+
+    def test_noise_attribute_least_important(self, redundant_cloud):
+        X, alpha, _ = redundant_cloud
+        reports = attribute_importances(X, alpha)
+        # Dropping the noise column must perturb the ranking least.
+        noise_report = reports[3]
+        informative = reports[:3]
+        assert noise_report.loo_tau > max(r.loo_tau for r in informative) - 0.05
+        # And its structural span-to-noise ratio is the smallest.
+        assert noise_report.curve_span < min(
+            r.curve_span for r in informative
+        )
+
+    def test_influence_is_one_minus_tau(self, redundant_cloud):
+        X, alpha, _ = redundant_cloud
+        reports = attribute_importances(X, alpha)
+        for r in reports:
+            assert r.influence == pytest.approx(1.0 - r.loo_tau)
+
+    def test_univariate_data_rejected(self):
+        with pytest.raises(DataValidationError):
+            attribute_importances(np.ones((10, 1)), np.array([1.0]))
+
+    def test_name_count_validated(self, redundant_cloud):
+        X, alpha, _ = redundant_cloud
+        with pytest.raises(DataValidationError):
+            attribute_importances(X, alpha, attribute_names=["only-one"])
+
+
+class TestSelectFeatures:
+    def test_drops_noise_keeps_signal(self, redundant_cloud):
+        X, alpha, _ = redundant_cloud
+        result = select_features(X, alpha, min_tau=0.9)
+        assert 3 in result.dropped  # the pure-noise column goes
+        # Correlated signal columns may also be pruned (they share one
+        # latent); what must hold is the consistency budget and the
+        # floor of two attributes.
+        assert len(result.selected) >= 2
+        assert result.final_tau >= 0.9
+
+    def test_min_attributes_respected(self, redundant_cloud):
+        X, alpha, _ = redundant_cloud
+        result = select_features(
+            X, alpha, min_tau=0.0001, min_attributes=3
+        )
+        assert len(result.selected) >= 3
+
+    def test_strict_budget_keeps_everything(self, redundant_cloud):
+        X, alpha, _ = redundant_cloud
+        result = select_features(X, alpha, min_tau=0.999999)
+        # An (almost) exact-agreement budget forbids dropping informative
+        # columns; at most the pure-noise one can go.
+        assert len(result.selected) >= 3
+
+    def test_invalid_parameters(self, redundant_cloud):
+        X, alpha, _ = redundant_cloud
+        with pytest.raises(ConfigurationError):
+            select_features(X, alpha, min_tau=0.0)
+        with pytest.raises(ConfigurationError):
+            select_features(X, alpha, min_attributes=1)

@@ -1,0 +1,110 @@
+"""Tests for the Theorem 2 inverse ranking function."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import DataValidationError
+from repro.core.inverse import (
+    InverseRankingFunction,
+    gradient_is_positive,
+    verify_inverse_duality,
+)
+from repro.geometry import BezierCurve, cubic_from_interior_points
+
+
+@pytest.fixture
+def monotone_curve():
+    return cubic_from_interior_points(
+        [1.0, -1.0], p1=[0.2, 0.7], p2=[0.7, 0.2]
+    )
+
+
+class TestGradientCondition:
+    def test_feasible_curve_passes(self, monotone_curve):
+        assert gradient_is_positive(monotone_curve, [1, -1])
+
+    def test_wrong_direction_fails(self, monotone_curve):
+        # Against the declared direction the gradient is negative.
+        assert not gradient_is_positive(monotone_curve, [-1, 1])
+
+    def test_hook_curve_fails(self):
+        hook = BezierCurve(
+            np.array([[0.0, 1.3, -0.3, 1.0], [0.0, 0.2, 0.8, 1.0]])
+        )
+        assert not gradient_is_positive(hook, [1, 1])
+
+    def test_diagonal_cubic_passes(self):
+        from repro.geometry import linear_cubic
+
+        assert gradient_is_positive(linear_cubic([1, 1, 1]), [1, 1, 1])
+
+
+class TestInverseFunction:
+    def test_roundtrip_on_curve(self, monotone_curve):
+        phi = InverseRankingFunction(monotone_curve)
+        grid = np.linspace(0.05, 0.95, 19)
+        on_curve = monotone_curve.evaluate(grid).T
+        np.testing.assert_allclose(phi(on_curve), grid, atol=1e-4)
+
+    def test_strictly_monotone_on_dominated_chain(self, monotone_curve):
+        phi = InverseRankingFunction(monotone_curve)
+        # A dominated chain in the (1, -1) order.
+        t = np.linspace(0.0, 1.0, 15)
+        X = np.column_stack([t, 1.0 - t])
+        scores = phi(X)
+        assert np.all(np.diff(scores) > 0)
+
+    def test_extension_beyond_ends(self, monotone_curve):
+        phi = InverseRankingFunction(monotone_curve)
+        # Points past the best corner get scores above 1, ordered by
+        # how far past they sit; symmetric below the worst corner.
+        beyond_best = np.array([[1.2, -0.2], [1.5, -0.5]])
+        s = phi(beyond_best)
+        assert np.all(s > 1.0)
+        assert s[1] > s[0]
+        beyond_worst = np.array([[-0.2, 1.2], [-0.5, 1.5]])
+        s2 = phi(beyond_worst)
+        assert np.all(s2 < 0.0)
+        assert s2[1] < s2[0]
+
+    def test_wrong_dimension_raises(self, monotone_curve):
+        phi = InverseRankingFunction(monotone_curve)
+        with pytest.raises(DataValidationError):
+            phi(np.ones((3, 5)))
+
+
+class TestDualityVerification:
+    def test_holds_for_feasible_curve(self, monotone_curve):
+        report = verify_inverse_duality(monotone_curve, [1, -1])
+        assert report.holds
+        assert report.max_roundtrip_error < 1e-3
+        assert report.monotone_scores
+        assert report.gradient_positive
+
+    def test_fails_for_hook(self):
+        hook = BezierCurve(
+            np.array([[0.0, 1.3, -0.3, 1.0], [0.0, 0.2, 0.8, 1.0]])
+        )
+        report = verify_inverse_duality(hook, [1, 1])
+        assert not report.gradient_positive
+        assert not report.holds
+
+    def test_holds_for_fitted_rpc(self):
+        import warnings
+
+        from repro.core.rpc import RankingPrincipalCurve
+        from repro.data.synthetic import sample_monotone_cloud
+
+        cloud = sample_monotone_cloud(
+            alpha=np.array([1.0, 1.0]), n=100, seed=23, noise=0.02
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            model = RankingPrincipalCurve(
+                alpha=[1, 1], random_state=0, n_restarts=1, init="linear"
+            ).fit(cloud.X)
+        report = verify_inverse_duality(model.curve_, [1, 1])
+        assert report.gradient_positive
+        assert report.monotone_scores

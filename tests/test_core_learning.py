@@ -1,0 +1,194 @@
+"""Tests for Algorithm 1 (the alternating RPC learning loop)."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, ConvergenceWarning
+from repro.core.learning import (
+    fit_rpc_curve,
+    initialize_control_points,
+    objective_value,
+)
+from repro.data.normalize import normalize_unit_cube
+from repro.data.synthetic import sample_monotone_cloud
+from repro.geometry import check_rpc_constraints, empirical_monotonicity_violations
+
+
+@pytest.fixture
+def unit_cloud():
+    cloud = sample_monotone_cloud(
+        alpha=np.array([1.0, -1.0]), n=120, seed=4, noise=0.02
+    )
+    return normalize_unit_cube(cloud.X), np.array([1.0, -1.0])
+
+
+class TestInitialization:
+    def test_linear_init_on_diagonal(self):
+        X = np.random.default_rng(0).uniform(size=(20, 3))
+        alpha = np.array([1.0, 1.0, -1.0])
+        P = initialize_control_points(X, alpha, init="linear")
+        check_rpc_constraints(P, alpha)
+        # Interior points sit at thirds of the corner-to-corner segment.
+        p0, p3 = P[:, 0], P[:, 3]
+        np.testing.assert_allclose(P[:, 1], p0 + (p3 - p0) / 3, atol=1e-2)
+
+    def test_random_init_feasible(self, rng):
+        X = rng.uniform(0.05, 0.95, size=(30, 2))
+        alpha = np.array([1.0, 1.0])
+        P = initialize_control_points(X, alpha, init="random", rng=rng)
+        check_rpc_constraints(P, alpha)
+
+    def test_random_init_deterministic_given_rng(self):
+        X = np.random.default_rng(1).uniform(size=(30, 2))
+        alpha = np.array([1.0, 1.0])
+        P1 = initialize_control_points(
+            X, alpha, rng=np.random.default_rng(7)
+        )
+        P2 = initialize_control_points(
+            X, alpha, rng=np.random.default_rng(7)
+        )
+        np.testing.assert_array_equal(P1, P2)
+
+    def test_higher_degree_has_more_interior(self, rng):
+        X = rng.uniform(0.05, 0.95, size=(30, 2))
+        P = initialize_control_points(
+            X, np.array([1.0, 1.0]), degree=5, rng=rng
+        )
+        assert P.shape == (2, 6)
+
+    def test_unknown_init_raises(self, rng):
+        X = rng.uniform(size=(10, 2))
+        with pytest.raises(ConfigurationError):
+            initialize_control_points(X, np.array([1.0, 1.0]), init="zeros")
+
+    def test_too_few_rows_raises(self):
+        X = np.ones((1, 2)) * 0.5
+        with pytest.raises(ConfigurationError):
+            initialize_control_points(X, np.array([1.0, 1.0]), degree=5)
+
+
+class TestFitBehaviour:
+    def test_objective_decreases_monotonically(self, unit_cloud):
+        X, alpha = unit_cloud
+        result = fit_rpc_curve(X, alpha, init="linear", inner_updates=16)
+        assert result.trace.is_monotone_decreasing()
+        assert result.trace.final_objective <= result.trace.objectives[0]
+
+    def test_fitted_curve_satisfies_constraints(self, unit_cloud):
+        X, alpha = unit_cloud
+        result = fit_rpc_curve(X, alpha, init="linear", inner_updates=16)
+        check_rpc_constraints(result.curve.control_points, alpha)
+
+    def test_fitted_curve_strictly_monotone(self, unit_cloud):
+        X, alpha = unit_cloud
+        result = fit_rpc_curve(X, alpha, init="linear", inner_updates=16)
+        report = empirical_monotonicity_violations(result.curve, alpha)
+        assert report.is_monotone
+
+    def test_scores_shape_and_range(self, unit_cloud):
+        X, alpha = unit_cloud
+        result = fit_rpc_curve(X, alpha, init="linear", inner_updates=16)
+        assert result.scores.shape == (X.shape[0],)
+        assert np.all((result.scores >= 0) & (result.scores <= 1))
+
+    def test_improves_over_initial_objective(self, unit_cloud):
+        X, alpha = unit_cloud
+        result = fit_rpc_curve(X, alpha, init="linear", inner_updates=16)
+        assert result.trace.final_objective < 0.8 * result.trace.objectives[0]
+
+    def test_objective_value_helper(self, unit_cloud):
+        X, alpha = unit_cloud
+        result = fit_rpc_curve(X, alpha, init="linear", inner_updates=16)
+        J = objective_value(X, result.curve, result.scores)
+        assert J == pytest.approx(result.trace.final_objective, rel=1e-9)
+
+    def test_pinv_update_runs(self, unit_cloud):
+        X, alpha = unit_cloud
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = fit_rpc_curve(X, alpha, update="pinv", init="linear")
+        # The closed-form update typically triggers the delta-J-negative
+        # early stop (the instability the paper describes); whatever the
+        # stop reason, constraints must hold.
+        check_rpc_constraints(result.curve.control_points, alpha)
+
+    def test_unpreconditioned_richardson_runs(self, unit_cloud):
+        X, alpha = unit_cloud
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = fit_rpc_curve(
+                X, alpha, precondition=False, init="linear", inner_updates=16
+            )
+        assert result.trace.is_monotone_decreasing()
+
+    def test_degree_two_and_four(self, unit_cloud):
+        X, alpha = unit_cloud
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            for degree in (2, 4):
+                result = fit_rpc_curve(
+                    X, alpha, degree=degree, init="linear", inner_updates=16
+                )
+                assert result.curve.degree == degree
+                check_rpc_constraints(result.curve.control_points, alpha)
+
+    def test_unconstrained_mode_skips_pinning(self, unit_cloud):
+        X, alpha = unit_cloud
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = fit_rpc_curve(
+                X,
+                alpha,
+                enforce_constraints=False,
+                init="linear",
+                inner_updates=16,
+                max_iter=50,
+            )
+        # Without clipping the end points drift off the corners.
+        P = result.curve.control_points
+        corners = np.column_stack([0.5 * (1 - alpha), 0.5 * (1 + alpha)])
+        drift = np.abs(P[:, [0, -1]] - corners).max()
+        assert drift > 1e-6
+
+    def test_convergence_warning_on_tiny_budget(self, unit_cloud):
+        X, alpha = unit_cloud
+        with pytest.warns(ConvergenceWarning):
+            fit_rpc_curve(
+                X, alpha, max_iter=1, xi=1e-15, init="linear"
+            )
+
+    def test_invalid_inputs(self, unit_cloud):
+        X, alpha = unit_cloud
+        with pytest.raises(ConfigurationError):
+            fit_rpc_curve(X, alpha, xi=0.0)
+        with pytest.raises(ConfigurationError):
+            fit_rpc_curve(X[:1], alpha)
+        with pytest.raises(ConfigurationError):
+            fit_rpc_curve(X.ravel(), alpha)
+        with pytest.raises(ConfigurationError):
+            fit_rpc_curve(X, alpha, update="sgd")
+
+
+class TestPropositionTwo:
+    """Proposition 2: J(P_t, s_t) is a decaying convergent sequence."""
+
+    def test_decay_across_seeds(self):
+        for seed in range(5):
+            cloud = sample_monotone_cloud(
+                alpha=np.array([1.0, 1.0]), n=80, seed=seed, noise=0.03
+            )
+            X = normalize_unit_cube(cloud.X)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                result = fit_rpc_curve(
+                    X,
+                    np.array([1.0, 1.0]),
+                    init="random",
+                    rng=np.random.default_rng(seed),
+                    inner_updates=16,
+                )
+            assert result.trace.is_monotone_decreasing(), f"seed {seed}"

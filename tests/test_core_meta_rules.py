@@ -1,0 +1,176 @@
+"""Tests for the five meta-rules as executable assessments."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.meta_rules import (
+    MetaRuleReport,
+    assess_ranking_model,
+    check_capacity,
+    check_explicitness,
+    check_invariance,
+    check_smoothness,
+    check_strict_monotonicity,
+)
+from repro.core.order import RankingOrder
+from repro.core.rpc import RankingPrincipalCurve
+from repro.data.synthetic import sample_monotone_cloud
+
+
+class _StubModel:
+    """Configurable capability stub for the declared-rule checks."""
+
+    def __init__(self, linear=True, nonlinear=True, size=7):
+        self._linear = linear
+        self._nonlinear = nonlinear
+        self._size = size
+
+    @property
+    def has_linear_capacity(self):
+        return self._linear
+
+    @property
+    def has_nonlinear_capacity(self):
+        return self._nonlinear
+
+    @property
+    def parameter_size(self):
+        return self._size
+
+
+@pytest.fixture
+def cloud2d():
+    return sample_monotone_cloud(
+        alpha=np.array([1.0, 1.0]), n=60, seed=5, noise=0.02
+    )
+
+
+class TestDeclaredRules:
+    def test_capacity_pass(self):
+        check = check_capacity(_StubModel())
+        assert check.passed
+
+    def test_capacity_fail_linear_only(self):
+        check = check_capacity(_StubModel(nonlinear=False))
+        assert not check.passed
+        assert "nonlinear=False" in check.detail
+
+    def test_explicitness_pass(self):
+        assert check_explicitness(_StubModel(size=12)).passed
+
+    def test_explicitness_fail(self):
+        check = check_explicitness(_StubModel(size=None))
+        assert not check.passed
+        assert "unknown" in check.detail
+
+
+class TestStrictMonotonicityCheck:
+    def test_monotone_scorer_passes(self, cloud2d):
+        order = RankingOrder(alpha=np.array([1.0, 1.0]))
+        scorer = lambda X: X.sum(axis=1)  # noqa: E731 - test stub
+        check = check_strict_monotonicity(scorer, cloud2d.X, order)
+        assert check.passed
+
+    def test_constant_scorer_fails(self, cloud2d):
+        order = RankingOrder(alpha=np.array([1.0, 1.0]))
+        scorer = lambda X: np.zeros(X.shape[0])  # noqa: E731
+        check = check_strict_monotonicity(scorer, cloud2d.X, order)
+        assert not check.passed
+
+    def test_single_coordinate_scorer_fails_on_ties(self):
+        # Score = x0 only: ties all pairs differing only in x1
+        # (Example 1's x1 vs x2 failure).
+        order = RankingOrder(alpha=np.array([1.0, 1.0]))
+        X = np.array([[58.0, 1.4], [58.0, 16.2], [60.0, 5.0]])
+        scorer = lambda X: X[:, 0]  # noqa: E731
+        check = check_strict_monotonicity(scorer, X, order)
+        assert not check.passed
+
+
+class TestInvarianceCheck:
+    def test_normalised_pipeline_passes(self, cloud2d, rng):
+        def fit_and_score(X):
+            lo, hi = X.min(axis=0), X.max(axis=0)
+            U = (X - lo) / np.where(hi - lo <= 0, 1, hi - lo)
+            return U.sum(axis=1)
+
+        check = check_invariance(fit_and_score, cloud2d.X, rng)
+        assert check.passed
+
+    def test_unnormalised_pipeline_fails(self, cloud2d, rng):
+        # Raw sums change order when one attribute is rescaled.
+        check = check_invariance(
+            lambda X: X.sum(axis=1), cloud2d.X, rng, n_transforms=5
+        )
+        assert not check.passed
+
+
+class TestSmoothnessCheck:
+    def test_linear_scorer_smooth(self, cloud2d, rng):
+        check = check_smoothness(
+            lambda X: X.sum(axis=1), cloud2d.X, rng
+        )
+        assert check.passed
+
+    def test_absolute_value_kink_detected(self, rng):
+        X = np.random.default_rng(0).uniform(-1, 1, size=(50, 2))
+        scorer = lambda X: np.abs(X[:, 0])  # noqa: E731
+        check = check_smoothness(scorer, X, rng, n_paths=16)
+        assert not check.passed
+
+    def test_polyline_projection_kink_detected(self, rng):
+        # The Fig. 2(a) failure: polyline projection indices are C0 but
+        # not C1 at vertex boundaries.
+        from repro.data.normalize import normalize_unit_cube
+        from repro.data.synthetic import sample_crescent
+        from repro.princurve import PolygonalLineCurve
+
+        X = normalize_unit_cube(sample_crescent(n=150, seed=2).X)
+        model = PolygonalLineCurve(n_vertices=6).fit(X)
+        check = check_smoothness(model.score_samples, X, rng, n_paths=24)
+        assert not check.passed
+
+
+class TestAggregateReport:
+    def test_rpc_passes_all_five(self, cloud2d):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            model = RankingPrincipalCurve(
+                alpha=[1, 1], random_state=0, n_restarts=1, init="linear"
+            ).fit(cloud2d.X)
+
+            def fit_and_score(X):
+                refit = RankingPrincipalCurve(
+                    alpha=[1, 1], random_state=0, n_restarts=1, init="linear"
+                ).fit(X)
+                return refit.score_samples(X)
+
+            report = assess_ranking_model(
+                model=model,
+                scorer=model.score_samples,
+                fit_and_score=fit_and_score,
+                X=cloud2d.X,
+                order=RankingOrder(alpha=np.array([1.0, 1.0])),
+                rng=np.random.default_rng(1),
+            )
+        assert isinstance(report, MetaRuleReport)
+        assert report.all_passed, report.summary()
+        assert report.n_passed == 5
+
+    def test_summary_format(self):
+        from repro.core.meta_rules import RuleCheck
+
+        report = MetaRuleReport(
+            invariance=RuleCheck("scale and translation invariance", True, "ok"),
+            strict_monotonicity=RuleCheck("strict monotonicity", False, "2 bad"),
+            capacity=RuleCheck("linear/nonlinear capacity", True, "ok"),
+            smoothness=RuleCheck("smoothness (C1)", True, "ok"),
+            explicitness=RuleCheck("explicitness", True, "8"),
+        )
+        text = report.summary()
+        assert "4/5" in text
+        assert "[FAIL] strict monotonicity" in text

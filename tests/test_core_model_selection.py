@@ -1,0 +1,87 @@
+"""Tests for degree selection and the restart-budget study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, DataValidationError
+from repro.core.model_selection import restart_budget_study, select_degree
+from repro.data.synthetic import sample_around_curve
+from repro.geometry import cubic_from_interior_points
+
+
+@pytest.fixture(scope="module")
+def s_shaped_data():
+    curve = cubic_from_interior_points(
+        [1.0, 1.0], p1=[0.1, 0.65], p2=[0.9, 0.35]
+    )
+    return sample_around_curve(curve, n=150, noise=0.03, seed=5).X
+
+
+class TestSelectDegree:
+    def test_prefers_cubic_on_s_shape(self, s_shaped_data):
+        result = select_degree(
+            s_shaped_data, [1, 1], degrees=(1, 2, 3, 4), random_state=0
+        )
+        # The parsimony rule must land on 3: 1 and 2 underfit the S,
+        # 4 buys nothing on held-out folds.
+        assert result.best_degree == 3
+        by_degree = {c.degree: c for c in result.candidates}
+        assert by_degree[1].validation_error > by_degree[3].validation_error
+        assert by_degree[2].validation_error > by_degree[3].validation_error
+
+    def test_candidates_sorted_and_complete(self, s_shaped_data):
+        result = select_degree(
+            s_shaped_data, [1, 1], degrees=(3, 1, 2), random_state=0
+        )
+        assert [c.degree for c in result.candidates] == [1, 2, 3]
+
+    def test_errors_are_positive(self, s_shaped_data):
+        result = select_degree(
+            s_shaped_data, [1, 1], degrees=(2, 3), random_state=0
+        )
+        for c in result.candidates:
+            assert c.train_error > 0
+            assert c.validation_error > 0
+
+    def test_too_few_rows_raises(self):
+        X = np.random.default_rng(0).uniform(size=(8, 2))
+        with pytest.raises(DataValidationError):
+            select_degree(X, [1, 1], n_folds=3)
+
+    def test_invalid_parameters(self, s_shaped_data):
+        with pytest.raises(ConfigurationError):
+            select_degree(s_shaped_data, [1, 1], n_folds=1)
+        with pytest.raises(ConfigurationError):
+            select_degree(s_shaped_data, [1, 1], degrees=(0, 3))
+
+
+class TestRestartStudy:
+    def test_best_after_is_nonincreasing(self, s_shaped_data):
+        study = restart_budget_study(
+            s_shaped_data, [1, 1], n_restarts=5, random_state=0
+        )
+        assert len(study.objectives) == 5
+        diffs = np.diff(study.best_after)
+        assert np.all(diffs <= 1e-12)
+
+    def test_recommended_within_budget(self, s_shaped_data):
+        study = restart_budget_study(
+            s_shaped_data, [1, 1], n_restarts=5, random_state=0
+        )
+        assert 1 <= study.recommended <= 5
+        # The recommended count achieves within 1% of the best.
+        assert study.best_after[study.recommended - 1] <= (
+            study.best_after[-1] * 1.01
+        )
+
+    def test_single_restart_allowed(self, s_shaped_data):
+        study = restart_budget_study(
+            s_shaped_data, [1, 1], n_restarts=1, random_state=0
+        )
+        assert study.recommended == 1
+
+    def test_invalid_restarts_raise(self, s_shaped_data):
+        with pytest.raises(ConfigurationError):
+            restart_budget_study(s_shaped_data, [1, 1], n_restarts=0)

@@ -1,0 +1,136 @@
+"""Tests for the ranking order of Eq.(1)–(3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, DataValidationError
+from repro.core.order import RankingOrder, order_from_sets
+
+
+@pytest.fixture
+def mixed_order():
+    """Order with one benefit and one cost attribute."""
+    return RankingOrder(alpha=np.array([1.0, -1.0]))
+
+
+class TestConstruction:
+    def test_attribute_sets(self):
+        order = RankingOrder(alpha=np.array([1.0, -1.0, 1.0, -1.0]))
+        np.testing.assert_array_equal(order.benefit_attributes, [0, 2])
+        np.testing.assert_array_equal(order.cost_attributes, [1, 3])
+        assert order.dimension == 4
+
+    def test_invalid_alpha_raises(self):
+        with pytest.raises(ConfigurationError):
+            RankingOrder(alpha=np.array([1.0, 0.5]))
+
+    def test_order_from_sets(self):
+        order = order_from_sets(3, benefit=[0, 2], cost=[1])
+        np.testing.assert_array_equal(order.alpha, [1.0, -1.0, 1.0])
+
+    def test_order_from_sets_overlap_raises(self):
+        with pytest.raises(ConfigurationError):
+            order_from_sets(2, benefit=[0, 1], cost=[1])
+
+    def test_order_from_sets_incomplete_raises(self):
+        with pytest.raises(ConfigurationError):
+            order_from_sets(3, benefit=[0], cost=[1])
+
+    def test_order_from_sets_bad_dim_raises(self):
+        with pytest.raises(ConfigurationError):
+            order_from_sets(0)
+
+
+class TestPairwiseRelations:
+    def test_precedes_benefit_and_cost(self, mixed_order):
+        worse = np.array([1.0, 10.0])  # low benefit, high cost
+        better = np.array([2.0, 5.0])
+        assert mixed_order.precedes(worse, better)
+        assert not mixed_order.precedes(better, worse)
+        assert mixed_order.strictly_precedes(worse, better)
+
+    def test_reflexivity(self, mixed_order):
+        x = np.array([1.0, 2.0])
+        assert mixed_order.precedes(x, x)
+        assert not mixed_order.strictly_precedes(x, x)
+
+    def test_antisymmetry(self, mixed_order, rng):
+        for _ in range(20):
+            x = rng.normal(size=2)
+            y = rng.normal(size=2)
+            if mixed_order.precedes(x, y) and mixed_order.precedes(y, x):
+                np.testing.assert_array_equal(x, y)
+
+    def test_transitivity(self, mixed_order):
+        a = np.array([0.0, 10.0])
+        b = np.array([1.0, 8.0])
+        c = np.array([2.0, 3.0])
+        assert mixed_order.precedes(a, b)
+        assert mixed_order.precedes(b, c)
+        assert mixed_order.precedes(a, c)
+
+    def test_incomparable_pair(self, mixed_order):
+        # Better on benefit, worse on cost: incomparable.
+        x = np.array([2.0, 10.0])
+        y = np.array([1.0, 1.0])
+        assert not mixed_order.comparable(x, y)
+
+    def test_example2_ordering(self):
+        """The four-country chain of Example 2 with its alpha."""
+        from repro.data.toy import example2_countries
+
+        _labels, X, alpha = example2_countries()
+        order = RankingOrder(alpha=alpha)
+        # The paper: xI < xM < xG < xN is a chain.
+        for i in range(3):
+            assert order.strictly_precedes(X[i], X[i + 1])
+        assert order.is_chain(X)
+
+    def test_dimension_mismatch_raises(self, mixed_order):
+        with pytest.raises(DataValidationError):
+            mixed_order.precedes(np.ones(3), np.ones(2))
+
+
+class TestMatrixQueries:
+    def test_dominance_matrix_matches_pairwise(self, mixed_order, rng):
+        X = rng.normal(size=(12, 2))
+        D = mixed_order.dominance_matrix(X)
+        for i in range(12):
+            for j in range(12):
+                assert D[i, j] == mixed_order.precedes(X[i], X[j])
+
+    def test_strict_matrix_excludes_diagonal(self, mixed_order, rng):
+        X = rng.normal(size=(10, 2))
+        S = mixed_order.strict_dominance_matrix(X)
+        assert not np.any(np.diag(S))
+
+    def test_pareto_front_of_chain_is_top(self):
+        order = RankingOrder(alpha=np.array([1.0, 1.0]))
+        X = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        np.testing.assert_array_equal(order.pareto_front(X), [2])
+
+    def test_pareto_front_of_anti_chain_is_everything(self):
+        order = RankingOrder(alpha=np.array([1.0, 1.0]))
+        X = np.array([[0.0, 2.0], [1.0, 1.0], [2.0, 0.0]])
+        np.testing.assert_array_equal(order.pareto_front(X), [0, 1, 2])
+
+    def test_comparable_pairs_iterates_strict_pairs(self):
+        order = RankingOrder(alpha=np.array([1.0]))
+        X = np.array([[1.0], [2.0], [3.0]])
+        pairs = set(order.comparable_pairs(X))
+        assert pairs == {(0, 1), (0, 2), (1, 2)}
+
+    def test_is_chain_false_with_incomparables(self, mixed_order):
+        X = np.array([[2.0, 10.0], [1.0, 1.0]])
+        assert not mixed_order.is_chain(X)
+
+    def test_nan_data_raises(self, mixed_order):
+        X = np.array([[1.0, np.nan]])
+        with pytest.raises(DataValidationError):
+            mixed_order.dominance_matrix(X)
+
+    def test_wrong_width_raises(self, mixed_order):
+        with pytest.raises(DataValidationError):
+            mixed_order.dominance_matrix(np.ones((4, 3)))

@@ -1,0 +1,104 @@
+"""Tests for the Eq.(20) projection solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.projection import (
+    project_points,
+    stationary_polynomial,
+    stationary_residual,
+)
+from repro.geometry import cubic_from_interior_points
+from repro.linalg import polyval_ascending
+
+
+@pytest.fixture
+def curve():
+    return cubic_from_interior_points(
+        [1.0, 1.0], p1=[0.2, 0.5], p2=[0.7, 0.6]
+    )
+
+
+class TestSolverAgreement:
+    @pytest.mark.parametrize("method", ["gss", "roots", "newton"])
+    def test_on_curve_points_recovered(self, curve, method):
+        s_true = np.linspace(0.1, 0.9, 9)
+        X = curve.evaluate(s_true).T
+        s_hat = project_points(curve, X, method=method)
+        np.testing.assert_allclose(s_hat, s_true, atol=1e-3)
+
+    def test_all_methods_reach_same_distance(self, curve, rng):
+        X = rng.uniform(-0.1, 1.1, size=(50, 2))
+        distances = {}
+        for method in ("gss", "roots", "newton"):
+            s = project_points(curve, X, method=method)
+            distances[method] = np.sum(
+                (X - curve.evaluate(s).T) ** 2, axis=1
+            )
+        np.testing.assert_allclose(
+            distances["gss"], distances["roots"], atol=1e-5
+        )
+        np.testing.assert_allclose(
+            distances["newton"], distances["roots"], atol=1e-5
+        )
+
+    @pytest.mark.parametrize("method", ["gss", "roots", "newton"])
+    def test_scores_in_unit_interval(self, curve, rng, method):
+        X = rng.uniform(-3, 3, size=(30, 2))
+        s = project_points(curve, X, method=method)
+        assert np.all((s >= 0.0) & (s <= 1.0))
+
+    def test_unknown_method_raises(self, curve):
+        with pytest.raises(ConfigurationError):
+            project_points(curve, np.ones((2, 2)), method="bogus")
+
+
+class TestStationaryPolynomial:
+    def test_degree_is_five_for_cubic(self, curve):
+        coeffs = stationary_polynomial(curve, np.array([0.5, 0.5]))
+        assert coeffs.shape == (6,)  # quintic: degree 2k - 1 = 5
+
+    def test_vanishes_at_interior_projection(self, curve, rng):
+        X = rng.uniform(0.2, 0.8, size=(20, 2))
+        s = project_points(curve, X, method="roots")
+        for x, si in zip(X, s):
+            if 1e-6 < si < 1 - 1e-6:  # interior optima only
+                assert stationary_residual(curve, x, float(si)) == pytest.approx(
+                    0.0, abs=1e-6
+                )
+
+    def test_equals_derivative_dot_residual(self, curve, rng):
+        # Direct check of Eq.(20): value == f'(s) . (x - f(s)).
+        x = rng.uniform(size=2)
+        coeffs = stationary_polynomial(curve, x)
+        for s in rng.uniform(size=10):
+            direct = float(
+                curve.derivative(np.array([s]))[:, 0]
+                @ (x - curve.evaluate(np.array([s]))[:, 0])
+            )
+            via_poly = float(polyval_ascending(coeffs, np.array([s]))[0])
+            assert via_poly == pytest.approx(direct, abs=1e-10)
+
+    def test_wrong_dimension_raises(self, curve):
+        with pytest.raises(ConfigurationError):
+            stationary_polynomial(curve, np.ones(3))
+
+
+class TestMultimodalRobustness:
+    def test_gss_with_grid_handles_multiple_minima(self):
+        # A tight S-curve creates points with distinct local projection
+        # minima; the grid scan must pick the global one, matching the
+        # exact roots method.
+        curve = cubic_from_interior_points(
+            [1.0, 1.0], p1=[0.05, 0.95], p2=[0.95, 0.05]
+        )
+        rng = np.random.default_rng(5)
+        X = rng.uniform(size=(200, 2))
+        s_gss = project_points(curve, X, method="gss", n_grid=64)
+        s_roots = project_points(curve, X, method="roots")
+        d_gss = np.sum((X - curve.evaluate(s_gss).T) ** 2, axis=1)
+        d_roots = np.sum((X - curve.evaluate(s_roots).T) ** 2, axis=1)
+        np.testing.assert_allclose(d_gss, d_roots, atol=1e-4)

@@ -1,0 +1,179 @@
+"""Tests for the weighted form of Algorithm 1 (sample_weight support)."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import RankingPrincipalCurve
+from repro.core.exceptions import ConfigurationError
+from repro.core.learning import fit_rpc_curve, objective_value
+from repro.data.normalize import normalize_unit_cube
+from repro.data.synthetic import sample_around_curve, sample_monotone_cloud
+from repro.geometry import cubic_from_interior_points
+
+
+@pytest.fixture
+def unit_cloud():
+    cloud = sample_monotone_cloud(
+        alpha=np.array([1.0, 1.0]), n=100, seed=51, noise=0.02
+    )
+    return normalize_unit_cube(cloud.X)
+
+
+class TestWeightedObjective:
+    def test_unit_weights_match_unweighted(self, unit_cloud):
+        curve = cubic_from_interior_points(
+            [1.0, 1.0], p1=[0.3, 0.3], p2=[0.7, 0.7]
+        )
+        s = curve.project(unit_cloud)
+        J_plain = objective_value(unit_cloud, curve, s)
+        J_ones = objective_value(
+            unit_cloud, curve, s, sample_weight=np.ones(100)
+        )
+        assert J_plain == pytest.approx(J_ones)
+
+    def test_weights_scale_objective(self, unit_cloud):
+        curve = cubic_from_interior_points(
+            [1.0, 1.0], p1=[0.3, 0.3], p2=[0.7, 0.7]
+        )
+        s = curve.project(unit_cloud)
+        J1 = objective_value(unit_cloud, curve, s)
+        J2 = objective_value(
+            unit_cloud, curve, s, sample_weight=np.full(100, 2.0)
+        )
+        assert J2 == pytest.approx(2.0 * J1)
+
+
+class TestWeightedFit:
+    def test_unit_weights_reproduce_unweighted_fit(self, unit_cloud):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            plain = fit_rpc_curve(
+                unit_cloud, [1, 1], init="linear", inner_updates=32
+            )
+            weighted = fit_rpc_curve(
+                unit_cloud,
+                [1, 1],
+                init="linear",
+                inner_updates=32,
+                sample_weight=np.ones(100),
+            )
+        np.testing.assert_allclose(
+            plain.curve.control_points,
+            weighted.curve.control_points,
+            atol=1e-10,
+        )
+
+    def test_weighted_descent_is_monotone(self, unit_cloud):
+        rng = np.random.default_rng(3)
+        weights = rng.uniform(0.5, 3.0, size=100)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = fit_rpc_curve(
+                unit_cloud,
+                [1, 1],
+                init="linear",
+                inner_updates=32,
+                sample_weight=weights,
+            )
+        assert result.trace.is_monotone_decreasing()
+
+    def test_heavy_weights_pull_the_curve(self):
+        """Two sub-populations on different curves: weighting one
+        sub-population heavily must pull the fit toward it."""
+        lower = cubic_from_interior_points(
+            [1.0, 1.0], p1=[0.6, 0.1], p2=[0.9, 0.4]
+        )
+        upper = cubic_from_interior_points(
+            [1.0, 1.0], p1=[0.1, 0.6], p2=[0.4, 0.9]
+        )
+        a = sample_around_curve(lower, n=60, noise=0.01, seed=1).X
+        b = sample_around_curve(upper, n=60, noise=0.01, seed=2).X
+        X = np.vstack([a, b])
+        w_favour_a = np.concatenate([np.full(60, 50.0), np.full(60, 1.0)])
+        w_favour_b = np.concatenate([np.full(60, 1.0), np.full(60, 50.0)])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            fit_a = fit_rpc_curve(
+                X, [1, 1], init="linear", inner_updates=32,
+                sample_weight=w_favour_a,
+            )
+            fit_b = fit_rpc_curve(
+                X, [1, 1], init="linear", inner_updates=32,
+                sample_weight=w_favour_b,
+            )
+
+        def residual_to(points, result):
+            s = result.curve.project(points)
+            return float(
+                np.sum(result.curve.projection_residuals(points, s) ** 2)
+            )
+
+        # Each weighted fit reconstructs its favoured population better
+        # than the other fit does.
+        assert residual_to(a, fit_a) < residual_to(a, fit_b)
+        assert residual_to(b, fit_b) < residual_to(b, fit_a)
+
+    def test_weighted_pinv_update_runs(self, unit_cloud):
+        rng = np.random.default_rng(5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = fit_rpc_curve(
+                unit_cloud,
+                [1, 1],
+                update="pinv",
+                init="linear",
+                sample_weight=rng.uniform(0.5, 2.0, size=100),
+            )
+        assert np.all(np.isfinite(result.curve.control_points))
+
+    def test_invalid_weights_raise(self, unit_cloud):
+        with pytest.raises(ConfigurationError):
+            fit_rpc_curve(
+                unit_cloud, [1, 1], sample_weight=np.ones(5)
+            )
+        with pytest.raises(ConfigurationError):
+            fit_rpc_curve(
+                unit_cloud, [1, 1], sample_weight=np.zeros(100)
+            )
+        bad = np.ones(100)
+        bad[0] = np.nan
+        with pytest.raises(ConfigurationError):
+            fit_rpc_curve(unit_cloud, [1, 1], sample_weight=bad)
+
+
+class TestEstimatorWeightSupport:
+    def test_fit_accepts_weights(self):
+        cloud = sample_monotone_cloud(
+            alpha=np.array([1.0, -1.0]), n=70, seed=53, noise=0.02
+        )
+        rng = np.random.default_rng(0)
+        weights = rng.uniform(0.5, 2.0, size=70)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            model = RankingPrincipalCurve(
+                alpha=[1, -1], random_state=0, n_restarts=1, init="linear"
+            ).fit(cloud.X, sample_weight=weights)
+        from repro.evaluation.metrics import spearman_rho
+
+        s = model.score_samples(cloud.X)
+        assert spearman_rho(s, cloud.latent) > 0.95
+        model.check_constraints()
+
+    def test_fit_rank_accepts_weights(self):
+        cloud = sample_monotone_cloud(
+            alpha=np.array([1.0, 1.0]), n=50, seed=54, noise=0.02
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            ranking = RankingPrincipalCurve(
+                alpha=[1, 1], random_state=0, n_restarts=1, init="linear"
+            ).fit_rank(
+                cloud.X,
+                labels=[f"o{i}" for i in range(50)],
+                sample_weight=np.ones(50),
+            )
+        assert ranking.positions.min() == 1

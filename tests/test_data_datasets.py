@@ -1,0 +1,209 @@
+"""Tests for the toy, synthetic, country and journal datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.order import RankingOrder
+from repro.data import (
+    COUNTRY_ALPHA,
+    JOURNAL_ALPHA,
+    TABLE2_ROWS,
+    TABLE3_ROWS,
+    example1_points,
+    example2_countries,
+    load_countries,
+    load_journals,
+    sample_around_curve,
+    sample_crescent,
+    sample_ellipse,
+    sample_linked_graph,
+    sample_monotone_cloud,
+    sample_s_curve,
+    table1a_objects,
+    table1b_objects,
+)
+from repro.geometry import cubic_from_interior_points
+
+
+class TestToyData:
+    def test_table1a_values(self):
+        toy = table1a_objects()
+        assert toy.labels == ("A", "B", "C")
+        np.testing.assert_allclose(toy.X[0], [0.30, 0.25])
+        np.testing.assert_allclose(toy.X[2], [0.70, 0.70])
+
+    def test_table1b_differs_only_in_a(self):
+        a = table1a_objects()
+        b = table1b_objects()
+        np.testing.assert_array_equal(a.X[1:], b.X[1:])
+        assert not np.array_equal(a.X[0], b.X[0])
+
+    def test_example1_pairs_ordered(self):
+        pts = example1_points()
+        order = RankingOrder(alpha=np.array([1.0, 1.0]))
+        assert order.strictly_precedes(pts["x1"], pts["x2"])
+        assert order.strictly_precedes(pts["x3"], pts["x4"])
+        assert order.strictly_precedes(pts["x5"], pts["x6"])
+
+    def test_example2_is_chain(self):
+        _labels, X, alpha = example2_countries()
+        order = RankingOrder(alpha=alpha)
+        assert order.is_chain(X)
+
+
+class TestSyntheticGenerators:
+    def test_ellipse_shapes(self):
+        cloud = sample_ellipse(n=80, seed=1)
+        assert cloud.X.shape == (80, 2)
+        assert cloud.latent.shape == (80,)
+
+    def test_ellipse_eccentricity_validated(self):
+        with pytest.raises(ConfigurationError):
+            sample_ellipse(eccentricity=1.5)
+
+    def test_crescent_monotone_latent(self):
+        cloud = sample_crescent(n=150, seed=2, width=0.01)
+        # Latent order must correlate with both coordinates.
+        for j in range(2):
+            corr = np.corrcoef(cloud.latent, cloud.X[:, j])[0, 1]
+            assert corr > 0.7
+
+    def test_s_curve_bounds(self):
+        cloud = sample_s_curve(n=100, seed=3, noise=0.0)
+        assert cloud.X[:, 1].min() >= -1e-9
+        assert cloud.X[:, 1].max() <= 1 + 1e-9
+
+    def test_sample_around_curve_zero_noise_on_curve(self):
+        curve = cubic_from_interior_points(
+            [1, 1], p1=[0.3, 0.3], p2=[0.7, 0.7]
+        )
+        cloud = sample_around_curve(curve, n=50, noise=0.0, seed=4)
+        expected = curve.evaluate(cloud.latent).T
+        np.testing.assert_allclose(cloud.X, expected, atol=1e-12)
+
+    def test_sample_around_curve_explicit_latent(self):
+        curve = cubic_from_interior_points(
+            [1, 1], p1=[0.3, 0.3], p2=[0.7, 0.7]
+        )
+        latent = np.array([0.0, 0.5, 1.0])
+        cloud = sample_around_curve(curve, noise=0.0, latent=latent)
+        assert cloud.X.shape == (3, 2)
+
+    def test_monotone_cloud_respects_alpha(self):
+        alpha = np.array([1.0, -1.0, 1.0])
+        cloud = sample_monotone_cloud(alpha, n=100, seed=5, noise=0.0)
+        for j, a in enumerate(alpha):
+            corr = np.corrcoef(cloud.latent, cloud.X[:, j])[0, 1]
+            assert a * corr > 0.5, f"attribute {j} not aligned with alpha"
+
+    def test_monotone_cloud_curvature_validated(self):
+        with pytest.raises(ConfigurationError):
+            sample_monotone_cloud(np.array([1.0, 1.0]), curvature=2.0)
+
+    def test_linked_graph_no_dangling(self):
+        A = sample_linked_graph(40, seed=6)
+        assert A.shape == (40, 40)
+        assert np.all(A.sum(axis=1) > 0)
+        assert np.all(np.diag(A) == 0)
+
+    def test_linked_graph_edge_prob_validated(self):
+        with pytest.raises(ConfigurationError):
+            sample_linked_graph(p_edge=0.0)
+
+    def test_generators_deterministic(self):
+        a = sample_crescent(n=30, seed=9)
+        b = sample_crescent(n=30, seed=9)
+        np.testing.assert_array_equal(a.X, b.X)
+
+
+class TestCountryDataset:
+    def test_default_size_and_embedded_rows(self):
+        data = load_countries()
+        assert data.n_countries == 171
+        assert data.X.shape == (171, 4)
+        assert int(data.is_from_paper.sum()) == len(TABLE2_ROWS)
+        # Verbatim rows preserved.
+        lux = data.labels.index("Luxembourg")
+        np.testing.assert_allclose(data.X[lux], TABLE2_ROWS["Luxembourg"])
+
+    def test_alpha(self):
+        data = load_countries()
+        np.testing.assert_array_equal(data.alpha, COUNTRY_ALPHA)
+
+    def test_attributes_in_physical_ranges(self):
+        data = load_countries()
+        gdp, leb, imr, tb = data.X.T
+        assert np.all(gdp > 0)
+        assert np.all((leb >= 35) & (leb <= 85))
+        assert np.all(imr >= 2)
+        assert np.all(tb >= 2)
+
+    def test_custom_size(self):
+        data = load_countries(n_countries=50)
+        assert data.n_countries == 50
+
+    def test_too_small_raises(self):
+        with pytest.raises(ConfigurationError):
+            load_countries(n_countries=3)
+
+    def test_deterministic(self):
+        a = load_countries(seed=1)
+        b = load_countries(seed=1)
+        np.testing.assert_array_equal(a.X, b.X)
+
+    def test_development_gradient_present(self):
+        # Synthetic countries must show the GDP-LEB positive link the
+        # crescent shape relies on.
+        data = load_countries()
+        synth = ~data.is_from_paper
+        corr = np.corrcoef(np.log(data.X[synth, 0]), data.X[synth, 1])[0, 1]
+        assert corr > 0.7
+
+
+class TestJournalDataset:
+    def test_default_size_and_embedded_rows(self):
+        data = load_journals()
+        assert data.n_journals == 393
+        assert data.X.shape == (393, 5)
+        assert int(data.is_from_paper.sum()) == len(TABLE3_ROWS)
+        tkde = data.labels.index("IEEE T KNOWL DATA EN")
+        np.testing.assert_allclose(
+            data.X[tkde], TABLE3_ROWS["IEEE T KNOWL DATA EN"]
+        )
+
+    def test_alpha_all_benefit(self):
+        data = load_journals()
+        np.testing.assert_array_equal(data.alpha, JOURNAL_ALPHA)
+
+    def test_if_5if_nearly_linear(self):
+        # The paper: "5-year IF shows almost a linear relationship with
+        # the others".  Check the synthetic rows.
+        data = load_journals()
+        synth = ~data.is_from_paper
+        corr = np.corrcoef(data.X[synth, 0], data.X[synth, 1])[0, 1]
+        assert corr > 0.9
+
+    def test_eigenfactor_weakly_coupled(self):
+        data = load_journals()
+        synth = ~data.is_from_paper
+        corr_eigen = abs(
+            np.corrcoef(data.X[synth, 0], data.X[synth, 3])[0, 1]
+        )
+        corr_5if = abs(np.corrcoef(data.X[synth, 0], data.X[synth, 1])[0, 1])
+        assert corr_eigen < corr_5if - 0.2
+
+    def test_all_positive(self):
+        data = load_journals()
+        assert np.all(data.X > 0)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ConfigurationError):
+            load_journals(n_journals=2)
+
+    def test_deterministic(self):
+        a = load_journals(seed=3)
+        b = load_journals(seed=3)
+        np.testing.assert_array_equal(a.X, b.X)

@@ -1,0 +1,82 @@
+"""Tests for Eq.(29) min–max normalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import DataValidationError, NotFittedError
+from repro.data.normalize import MinMaxNormalizer, normalize_unit_cube
+
+
+class TestMinMaxNormalizer:
+    def test_unit_range(self, rng):
+        X = rng.normal(scale=50, size=(40, 3)) + 100
+        U = MinMaxNormalizer().fit_transform(X)
+        np.testing.assert_allclose(U.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(U.max(axis=0), 1.0, atol=1e-12)
+
+    def test_round_trip(self, rng):
+        X = rng.normal(size=(25, 4)) * np.array([1, 100, 0.01, 5.0])
+        norm = MinMaxNormalizer().fit(X)
+        back = norm.inverse_transform(norm.transform(X))
+        np.testing.assert_allclose(back, X, atol=1e-9)
+
+    def test_order_preserved_per_column(self, rng):
+        X = rng.normal(size=(30, 2))
+        U = MinMaxNormalizer().fit_transform(X)
+        for j in range(2):
+            np.testing.assert_array_equal(
+                np.argsort(X[:, j]), np.argsort(U[:, j])
+            )
+
+    def test_new_points_use_training_bounds(self):
+        X = np.array([[0.0], [10.0]])
+        norm = MinMaxNormalizer().fit(X)
+        out = norm.transform(np.array([[5.0], [20.0]]))
+        np.testing.assert_allclose(out.ravel(), [0.5, 2.0])
+
+    def test_clip_option(self):
+        X = np.array([[0.0], [10.0]])
+        norm = MinMaxNormalizer(clip=True).fit(X)
+        out = norm.transform(np.array([[-5.0], [20.0]]))
+        np.testing.assert_allclose(out.ravel(), [0.0, 1.0])
+
+    def test_constant_column_maps_to_half(self):
+        X = np.array([[1.0, 5.0], [2.0, 5.0]])
+        U = MinMaxNormalizer().fit_transform(X)
+        np.testing.assert_allclose(U[:, 1], [0.5, 0.5])
+
+    def test_constant_column_inverse(self):
+        X = np.array([[1.0, 5.0], [2.0, 5.0]])
+        norm = MinMaxNormalizer().fit(X)
+        back = norm.inverse_transform(norm.transform(X))
+        np.testing.assert_allclose(back[:, 1], [5.0, 5.0])
+
+    def test_not_fitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MinMaxNormalizer().transform(np.ones((2, 2)))
+        with pytest.raises(NotFittedError):
+            MinMaxNormalizer().inverse_transform(np.ones((2, 2)))
+
+    def test_width_mismatch_raises(self):
+        norm = MinMaxNormalizer().fit(np.ones((3, 2)) * [[1], [2], [3]])
+        with pytest.raises(DataValidationError):
+            norm.transform(np.ones((3, 5)))
+
+    def test_nan_raises(self):
+        X = np.ones((3, 2))
+        X[1, 1] = np.inf
+        with pytest.raises(DataValidationError):
+            MinMaxNormalizer().fit(X)
+
+    def test_1d_raises(self):
+        with pytest.raises(DataValidationError):
+            MinMaxNormalizer().fit(np.ones(5))
+
+
+class TestConvenienceFunction:
+    def test_one_shot(self, rng):
+        X = rng.uniform(5, 9, size=(20, 2))
+        U = normalize_unit_cube(X)
+        assert U.min() >= 0.0 and U.max() <= 1.0

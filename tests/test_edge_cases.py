@@ -1,0 +1,167 @@
+"""Edge-case coverage across the public API.
+
+Single-attribute tasks, duplicate objects, constant attributes, tiny
+datasets, extreme direction vectors — the situations a downstream user
+hits first and bug reports are made of.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import RankingPrincipalCurve, build_ranking_list
+from repro.baselines import FirstPCARanker, MedianRankAggregator
+from repro.core.order import RankingOrder
+from repro.data.normalize import MinMaxNormalizer
+from repro.data.synthetic import sample_monotone_cloud
+
+
+class TestSingleAttribute:
+    def test_rpc_on_1d_task(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(10.0, 50.0, size=(40, 1))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            model = RankingPrincipalCurve(
+                alpha=[1], random_state=0, n_restarts=1, init="linear"
+            ).fit(X)
+        s = model.score_samples(X)
+        # One benefit attribute: the score order is the attribute order.
+        np.testing.assert_array_equal(
+            np.argsort(s, kind="stable"), np.argsort(X[:, 0], kind="stable")
+        )
+
+    def test_1d_cost_attribute_reverses(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(size=(30, 1))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            model = RankingPrincipalCurve(
+                alpha=[-1], random_state=0, n_restarts=1, init="linear"
+            ).fit(X)
+        s = model.score_samples(X)
+        corr = np.corrcoef(s, X[:, 0])[0, 1]
+        assert corr < -0.99
+
+    def test_order_in_1d_is_total(self):
+        order = RankingOrder(alpha=np.array([1.0]))
+        X = np.random.default_rng(2).uniform(size=(10, 1))
+        assert order.is_chain(X)
+
+
+class TestDuplicatesAndDegeneracy:
+    def test_duplicate_rows_get_equal_scores(self):
+        cloud = sample_monotone_cloud(
+            alpha=np.array([1.0, 1.0]), n=50, seed=3, noise=0.02
+        )
+        X = np.vstack([cloud.X, cloud.X[:5]])  # duplicate five rows
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            model = RankingPrincipalCurve(
+                alpha=[1, 1], random_state=0, n_restarts=1, init="linear"
+            ).fit(X)
+        s = model.score_samples(X)
+        np.testing.assert_allclose(s[50:], s[:5], atol=1e-9)
+
+    def test_constant_attribute_survives_pipeline(self):
+        # One attribute identical for everyone: it carries no ordering
+        # information and must not break the fit.
+        cloud = sample_monotone_cloud(
+            alpha=np.array([1.0, 1.0]), n=60, seed=4, noise=0.02
+        )
+        X = np.column_stack([cloud.X, np.full(60, 7.0)])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            model = RankingPrincipalCurve(
+                alpha=[1, 1, 1], random_state=0, n_restarts=1, init="linear"
+            ).fit(X)
+        s = model.score_samples(X)
+        assert np.all(np.isfinite(s))
+        from repro.evaluation.metrics import spearman_rho
+
+        assert spearman_rho(s, cloud.latent) > 0.95
+
+    def test_two_point_dataset(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0]])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            model = RankingPrincipalCurve(
+                alpha=[1, 1], random_state=0, n_restarts=1, init="linear"
+            ).fit(X)
+        s = model.score_samples(X)
+        assert s[1] > s[0]
+
+    def test_all_identical_rows(self):
+        # Degenerate but must not crash: all mass at one point.
+        X = np.ones((10, 2)) * 3.0
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            model = RankingPrincipalCurve(
+                alpha=[1, 1], random_state=0, n_restarts=1, init="linear"
+            ).fit(X)
+        s = model.score_samples(X)
+        assert np.all(np.isfinite(s))
+        assert np.allclose(s, s[0])
+
+
+class TestNormalizerEdges:
+    def test_single_row_fit(self):
+        norm = MinMaxNormalizer().fit(np.array([[3.0, 4.0]]))
+        out = norm.transform(np.array([[3.0, 4.0]]))
+        np.testing.assert_allclose(out, [[0.5, 0.5]])
+
+    def test_negative_values(self):
+        X = np.array([[-10.0], [-5.0], [0.0]])
+        U = MinMaxNormalizer().fit_transform(X)
+        np.testing.assert_allclose(U.ravel(), [0.0, 0.5, 1.0])
+
+    def test_huge_dynamic_range(self):
+        X = np.array([[1e-12], [1e12]])
+        U = MinMaxNormalizer().fit_transform(X)
+        np.testing.assert_allclose(U.ravel(), [0.0, 1.0])
+
+
+class TestRankingListEdges:
+    def test_single_object(self):
+        ranking = build_ranking_list(np.array([0.7]), labels=["only"])
+        assert ranking.position_of("only") == 1
+        assert ranking.top(5) == [("only", 0.7)]
+
+    def test_negative_scores(self):
+        ranking = build_ranking_list(np.array([-3.0, -1.0, -2.0]))
+        np.testing.assert_array_equal(ranking.order, [1, 2, 0])
+
+    def test_inf_scores_ordered(self):
+        ranking = build_ranking_list(np.array([0.0, np.inf, -np.inf]))
+        np.testing.assert_array_equal(ranking.order, [1, 0, 2])
+
+
+class TestBaselineEdges:
+    def test_pca_on_degenerate_variance(self):
+        # All variance in one attribute.
+        rng = np.random.default_rng(5)
+        X = np.column_stack([rng.uniform(size=30), np.full(30, 2.0)])
+        model = FirstPCARanker(alpha=[1, 1]).fit(X)
+        s = model.score_samples(X)
+        assert np.corrcoef(s, X[:, 0])[0, 1] > 0.99
+
+    def test_rank_aggregation_all_tied(self):
+        X = np.ones((5, 3))
+        s = MedianRankAggregator(alpha=[1, 1, 1]).score_samples(X)
+        np.testing.assert_allclose(s, s[0])
+
+    def test_high_dimensional_task(self):
+        # d = 12 attributes: everything stays finite and ordered.
+        alpha = np.array([1.0, -1.0] * 6)
+        cloud = sample_monotone_cloud(alpha=alpha, n=80, seed=6, noise=0.02)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            model = RankingPrincipalCurve(
+                alpha=alpha, random_state=0, n_restarts=1, init="linear"
+            ).fit(cloud.X)
+        from repro.evaluation.metrics import spearman_rho
+
+        assert spearman_rho(model.score_samples(cloud.X), cloud.latent) > 0.9

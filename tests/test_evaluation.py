@@ -1,0 +1,234 @@
+"""Tests for metrics, violation counting and model comparison."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import DataValidationError
+from repro.core.order import RankingOrder
+from repro.evaluation import (
+    compare_rankers,
+    count_order_violations,
+    explained_variance_from_residuals,
+    kendall_tau,
+    mean_squared_error,
+    pairwise_disagreements,
+    scores_respect_pairs,
+    spearman_rho,
+    top_k_overlap,
+)
+
+
+class TestKendallTau:
+    def test_perfect_agreement(self, rng):
+        a = rng.normal(size=30)
+        assert kendall_tau(a, a) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self, rng):
+        a = rng.normal(size=30)
+        assert kendall_tau(a, -a) == pytest.approx(-1.0)
+
+    def test_independence_near_zero(self, rng):
+        a = rng.normal(size=500)
+        b = rng.normal(size=500)
+        assert abs(kendall_tau(a, b)) < 0.1
+
+    def test_matches_scipy(self, rng):
+        from scipy.stats import kendalltau
+
+        a = rng.normal(size=40)
+        b = a + rng.normal(scale=0.5, size=40)
+        ours = kendall_tau(a, b)
+        theirs = kendalltau(a, b).statistic
+        assert ours == pytest.approx(theirs, abs=1e-10)
+
+    def test_matches_scipy_with_ties(self):
+        from scipy.stats import kendalltau
+
+        a = np.array([1.0, 1.0, 2.0, 3.0, 3.0, 4.0])
+        b = np.array([2.0, 1.0, 2.0, 5.0, 4.0, 4.0])
+        assert kendall_tau(a, b) == pytest.approx(
+            kendalltau(a, b).statistic, abs=1e-10
+        )
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(DataValidationError):
+            kendall_tau(np.ones(3), np.ones(4))
+
+    def test_too_short_raises(self):
+        with pytest.raises(DataValidationError):
+            kendall_tau(np.ones(1), np.ones(1))
+
+
+class TestSpearmanRho:
+    def test_perfect_monotone_agreement(self, rng):
+        a = rng.normal(size=30)
+        b = np.exp(a)  # monotone transform
+        assert spearman_rho(a, b) == pytest.approx(1.0)
+
+    def test_matches_scipy(self, rng):
+        from scipy.stats import spearmanr
+
+        a = rng.normal(size=40)
+        b = a + rng.normal(scale=0.5, size=40)
+        assert spearman_rho(a, b) == pytest.approx(
+            spearmanr(a, b).statistic, abs=1e-10
+        )
+
+    def test_matches_scipy_with_ties(self):
+        from scipy.stats import spearmanr
+
+        a = np.array([1.0, 1.0, 2.0, 3.0])
+        b = np.array([4.0, 2.0, 2.0, 1.0])
+        assert spearman_rho(a, b) == pytest.approx(
+            spearmanr(a, b).statistic, abs=1e-10
+        )
+
+    def test_constant_vector_returns_zero(self):
+        assert spearman_rho(np.ones(5), np.arange(5.0)) == 0.0
+
+
+class TestOtherMetrics:
+    def test_pairwise_disagreements_count(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.0, 3.0, 2.0])
+        assert pairwise_disagreements(a, b) == 1
+
+    def test_mse(self):
+        X = np.zeros((2, 2))
+        R = np.ones((2, 2))
+        assert mean_squared_error(X, R) == pytest.approx(2.0)
+
+    def test_mse_shape_mismatch_raises(self):
+        with pytest.raises(DataValidationError):
+            mean_squared_error(np.ones((2, 2)), np.ones((3, 2)))
+
+    def test_explained_variance_perfect_fit(self, rng):
+        X = rng.normal(size=(20, 3))
+        assert explained_variance_from_residuals(
+            X, np.zeros_like(X)
+        ) == pytest.approx(1.0)
+
+    def test_explained_variance_mean_model_is_zero(self, rng):
+        X = rng.normal(size=(50, 2))
+        residuals = X - X.mean(axis=0)
+        assert explained_variance_from_residuals(X, residuals) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_top_k_overlap(self):
+        a = np.array([0.9, 0.8, 0.1, 0.2])
+        b = np.array([0.8, 0.9, 0.2, 0.1])
+        assert top_k_overlap(a, b, 2) == 1.0
+        c = np.array([0.1, 0.2, 0.9, 0.8])
+        assert top_k_overlap(a, c, 2) == 0.0
+
+    def test_top_k_invalid_k_raises(self):
+        with pytest.raises(DataValidationError):
+            top_k_overlap(np.ones(3), np.ones(3), 0)
+
+
+class TestViolationCounting:
+    def test_strictly_monotone_scorer_clean(self, rng):
+        X = rng.uniform(size=(40, 2))
+        order = RankingOrder(alpha=np.array([1.0, 1.0]))
+        summary = count_order_violations(
+            lambda Y: Y.sum(axis=1), X, order
+        )
+        assert summary.n_violations == 0
+        assert summary.violation_rate == 0.0
+        assert summary.n_comparable_pairs > 0
+
+    def test_constant_scorer_all_ties(self, rng):
+        X = rng.uniform(size=(20, 2))
+        order = RankingOrder(alpha=np.array([1.0, 1.0]))
+        summary = count_order_violations(
+            lambda Y: np.zeros(Y.shape[0]), X, order
+        )
+        assert summary.n_ties == summary.n_comparable_pairs
+        assert summary.n_inversions == 0
+        assert summary.violation_rate == 1.0
+
+    def test_negated_scorer_all_inversions(self, rng):
+        X = rng.uniform(size=(20, 2))
+        order = RankingOrder(alpha=np.array([1.0, 1.0]))
+        summary = count_order_violations(
+            lambda Y: -Y.sum(axis=1), X, order
+        )
+        assert summary.n_inversions == summary.n_comparable_pairs
+
+    def test_recorded_pairs_capped(self, rng):
+        X = rng.uniform(size=(30, 2))
+        order = RankingOrder(alpha=np.array([1.0, 1.0]))
+        summary = count_order_violations(
+            lambda Y: np.zeros(Y.shape[0]), X, order, max_recorded=5
+        )
+        assert len(summary.violating_pairs) == 5
+
+    def test_scores_respect_pairs(self):
+        pairs = [
+            (np.array([0.0, 0.0]), np.array([1.0, 1.0])),
+            (np.array([1.0, 1.0]), np.array([0.0, 0.0])),
+        ]
+        out = scores_respect_pairs(lambda Y: Y.sum(axis=1), pairs)
+        assert out == [True, False]
+
+
+class TestComparison:
+    def test_compare_rankers_table(self, rng):
+        X = rng.uniform(size=(10, 2))
+
+        class SumRanker:
+            def fit(self, X):
+                return self
+
+            def score_samples(self, X):
+                return X.sum(axis=1)
+
+        class FirstAttrRanker:
+            def fit(self, X):
+                return self
+
+            def score_samples(self, X):
+                return X[:, 0]
+
+        comparison = compare_rankers(
+            {"sum": SumRanker(), "first": FirstAttrRanker()},
+            X,
+            labels=[f"obj{i}" for i in range(10)],
+        )
+        assert set(comparison.rankings) == {"sum", "first"}
+        table = comparison.table(sort_by="sum")
+        assert "sum score" in table and "first order" in table
+        assert len(table.splitlines()) == 12  # header + rule + 10 rows
+
+    def test_agreement_matrix(self, rng):
+        X = rng.uniform(size=(15, 2))
+
+        class SumRanker:
+            def fit(self, X):
+                return self
+
+            def score_samples(self, X):
+                return X.sum(axis=1)
+
+        comparison = compare_rankers(
+            {"a": SumRanker(), "b": SumRanker()}, X
+        )
+        agreement = comparison.agreement_matrix()
+        assert agreement[("a", "b")] == pytest.approx(1.0)
+
+    def test_subset_rows(self, rng):
+        X = rng.uniform(size=(6, 2))
+
+        class SumRanker:
+            def fit(self, X):
+                return self
+
+            def score_samples(self, X):
+                return X.sum(axis=1)
+
+        comparison = compare_rankers({"m": SumRanker()}, X)
+        table = comparison.table(rows=["0", "3"])
+        assert len(table.splitlines()) == 4

@@ -1,0 +1,68 @@
+"""Tests for the consolidated evaluation report."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import RankingPrincipalCurve
+from repro.data.synthetic import sample_monotone_cloud
+from repro.evaluation.reports import EvaluationReport, evaluate_rpc_ranking
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    cloud = sample_monotone_cloud(
+        alpha=np.array([1.0, -1.0]), n=80, seed=37, noise=0.02
+    )
+    model = RankingPrincipalCurve(
+        alpha=[1, -1], random_state=0, n_restarts=1, init="linear"
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        model.fit(cloud.X)
+    return model, cloud
+
+
+class TestEvaluateRpcRanking:
+    def test_report_contents(self, fitted):
+        model, cloud = fitted
+        labels = [f"obj{i}" for i in range(cloud.X.shape[0])]
+        report = evaluate_rpc_ranking(model, cloud.X, labels=labels)
+        assert isinstance(report, EvaluationReport)
+        assert report.n_objects == 80
+        assert 0.9 < report.explained_variance <= 1.0
+        assert report.violations.n_inversions == 0
+        assert len(report.top) == 5 and len(report.bottom) == 5
+
+    def test_meta_rules_all_pass_for_rpc(self, fitted):
+        model, cloud = fitted
+        report = evaluate_rpc_ranking(model, cloud.X)
+        assert report.meta_rules.all_passed, report.meta_rules.summary()
+
+    def test_render_is_readable(self, fitted):
+        model, cloud = fitted
+        labels = [f"obj{i}" for i in range(cloud.X.shape[0])]
+        text = evaluate_rpc_ranking(model, cloud.X, labels=labels).render()
+        assert "explained variance" in text
+        assert "meta-rule report: 5/5 passed" in text
+        assert "top of the list:" in text
+        assert "obj" in text
+
+    def test_custom_extremes_count(self, fitted):
+        model, cloud = fitted
+        report = evaluate_rpc_ranking(model, cloud.X, k_extremes=2)
+        assert len(report.top) == 2 and len(report.bottom) == 2
+
+    def test_custom_refit_closure_used(self, fitted):
+        model, cloud = fitted
+        calls = []
+
+        def refit(X):
+            calls.append(X.shape)
+            return X.sum(axis=1)
+
+        evaluate_rpc_ranking(model, cloud.X, refit=refit)
+        assert calls  # the invariance check exercised the closure

@@ -1,0 +1,137 @@
+"""Tests for bootstrap rank-stability analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, DataValidationError
+from repro.evaluation.stability import bootstrap_rank_stability
+
+
+class _SumRanker:
+    """Deterministic stub: score = attribute sum."""
+
+    def fit(self, X):
+        return self
+
+    def score_samples(self, X):
+        return np.asarray(X).sum(axis=1)
+
+
+class _NoisyRanker:
+    """Stub whose score *order* wobbles with the training resample.
+
+    The non-monotone sine term is scaled by the resample mean, so
+    different bootstrap draws reorder the mid-field objects.
+    """
+
+    def fit(self, X):
+        self._offset = float(np.asarray(X).mean())
+        return self
+
+    def score_samples(self, X):
+        X = np.asarray(X)
+        return X[:, 0] + 0.2 * self._offset * np.sin(X[:, 0] * 1.7)
+
+
+@pytest.fixture
+def spread_data(rng):
+    # Well-separated objects: sums 0, 1, ..., 19 with tiny noise.
+    base = np.arange(20.0)[:, np.newaxis] + rng.normal(0, 1e-6, (20, 1))
+    return np.hstack([base, base * 0.5])
+
+
+class TestBootstrapStability:
+    def test_deterministic_ranker_zero_spread(self, spread_data):
+        report = bootstrap_rank_stability(
+            _SumRanker, spread_data, n_resamples=8, random_state=0
+        )
+        np.testing.assert_allclose(report.position_std, 0.0, atol=1e-12)
+        # Mean positions are exactly the single ranking.
+        np.testing.assert_allclose(
+            np.sort(report.mean_position), np.arange(1, 21)
+        )
+
+    def test_report_shapes(self, spread_data):
+        labels = [f"o{i}" for i in range(20)]
+        report = bootstrap_rank_stability(
+            _SumRanker, spread_data, labels=labels, n_resamples=5
+        )
+        assert report.labels == labels
+        for field in (
+            report.mean_position,
+            report.position_std,
+            report.position_low,
+            report.position_high,
+            report.n_appearances,
+        ):
+            assert field.shape == (20,)
+
+    def test_percentiles_bracket_mean(self, spread_data):
+        report = bootstrap_rank_stability(
+            _NoisyRanker, spread_data, n_resamples=12, random_state=1
+        )
+        assert np.all(report.position_low <= report.mean_position + 1e-9)
+        assert np.all(report.mean_position <= report.position_high + 1e-9)
+
+    def test_noisy_ranker_nonzero_spread(self, spread_data):
+        report = bootstrap_rank_stability(
+            _NoisyRanker, spread_data, n_resamples=12, random_state=1
+        )
+        assert report.position_std.max() > 0.0
+
+    def test_stable_unstable_helpers(self, spread_data):
+        labels = [f"o{i}" for i in range(20)]
+        report = bootstrap_rank_stability(
+            _NoisyRanker,
+            spread_data,
+            labels=labels,
+            n_resamples=12,
+            random_state=1,
+        )
+        stable = report.most_stable(3)
+        unstable = report.least_stable(3)
+        assert len(stable) == 3 and len(unstable) == 3
+        assert set(stable).isdisjoint(unstable) or report.position_std.max() == 0
+
+    def test_table_format(self, spread_data):
+        labels = [f"obj{i}" for i in range(20)]
+        report = bootstrap_rank_stability(
+            _SumRanker, spread_data, labels=labels, n_resamples=4
+        )
+        text = report.table(rows=["obj0", "obj19"])
+        assert "mean pos" in text
+        assert len(text.splitlines()) == 4
+
+    def test_rpc_stability_on_real_task(self):
+        """End-to-end: RPC positions on the country data are stable at
+        the extremes, consistent with the paper's decisive top/bottom."""
+        from repro.core.rpc import RankingPrincipalCurve
+        from repro.data import load_countries
+
+        data = load_countries(n_countries=40)
+
+        def factory():
+            return RankingPrincipalCurve(
+                alpha=data.alpha, random_state=0, n_restarts=1, init="linear"
+            )
+
+        report = bootstrap_rank_stability(
+            factory, data.X, labels=data.labels, n_resamples=4,
+            random_state=0,
+        )
+        lux = data.labels.index("Luxembourg")
+        swz = data.labels.index("Swaziland")
+        assert report.mean_position[lux] < 10
+        assert report.mean_position[swz] > 30
+
+    def test_invalid_inputs(self, spread_data):
+        with pytest.raises(ConfigurationError):
+            bootstrap_rank_stability(_SumRanker, spread_data, n_resamples=1)
+        with pytest.raises(DataValidationError):
+            bootstrap_rank_stability(
+                _SumRanker, spread_data, labels=["too-few"]
+            )
+        with pytest.raises(DataValidationError):
+            bootstrap_rank_stability(_SumRanker, np.ones(5))

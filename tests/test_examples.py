@@ -1,0 +1,48 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least import cleanly and expose a ``main``; the
+fast ones are executed end to end so documentation code cannot rot.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+#: Examples cheap enough to execute fully inside the unit-test run.
+FAST_EXAMPLES = ["bezier_gallery.py", "toy_sensitivity.py"]
+
+
+def test_examples_directory_is_populated():
+    assert len(ALL_EXAMPLES) >= 8
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_defines_main(name):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"), path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    # Import without executing main (it is guarded by a __main__ check).
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None)), name
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), f"{name} produced no output"

@@ -1,0 +1,148 @@
+"""Failure injection: corrupt inputs must fail loudly and early.
+
+Every public fit/score entry point is fed NaN, inf, wrong-shaped and
+wrong-width data; the contract is a :class:`DataValidationError` (or
+its ``ValueError`` base), never a silent wrong answer or a numpy
+warning cascade.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import RankingPrincipalCurve
+from repro.baselines import (
+    FirstPCARanker,
+    KernelPCARanker,
+    ManifoldRanker,
+    WeightedSumRanker,
+)
+from repro.core.exceptions import DataValidationError, ReproError
+from repro.core.order import RankingOrder
+from repro.data.normalize import MinMaxNormalizer
+from repro.princurve import (
+    ElasticMapCurve,
+    HastieStuetzleCurve,
+    PolygonalLineCurve,
+    TibshiraniCurve,
+)
+
+ALPHA2 = [1, 1]
+
+FITTERS = [
+    lambda: RankingPrincipalCurve(alpha=ALPHA2, n_restarts=1, init="linear"),
+    lambda: FirstPCARanker(alpha=ALPHA2),
+    lambda: KernelPCARanker(alpha=ALPHA2),
+    lambda: WeightedSumRanker(alpha=ALPHA2),
+    lambda: ManifoldRanker(alpha=ALPHA2),
+]
+
+CURVE_FITTERS = [
+    lambda: HastieStuetzleCurve(),
+    lambda: PolygonalLineCurve(),
+    lambda: ElasticMapCurve(),
+    lambda: TibshiraniCurve(),
+]
+
+
+def _clean_data(n=30):
+    rng = np.random.default_rng(0)
+    return rng.uniform(0.1, 0.9, size=(n, 2))
+
+
+@pytest.mark.parametrize("make_model", FITTERS)
+class TestRankerInjection:
+    def test_nan_in_fit_raises(self, make_model):
+        X = _clean_data()
+        X[3, 1] = np.nan
+        with pytest.raises((DataValidationError, ValueError)):
+            make_model().fit(X)
+
+    def test_inf_in_fit_raises(self, make_model):
+        X = _clean_data()
+        X[0, 0] = np.inf
+        with pytest.raises((DataValidationError, ValueError)):
+            make_model().fit(X)
+
+    def test_1d_input_raises(self, make_model):
+        with pytest.raises((DataValidationError, ValueError)):
+            make_model().fit(np.ones(10))
+
+    def test_wrong_width_raises(self, make_model):
+        with pytest.raises((DataValidationError, ValueError)):
+            make_model().fit(np.ones((10, 5)))
+
+    def test_wrong_width_at_score_time_raises(self, make_model):
+        model = make_model()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            model.fit(_clean_data())
+        with pytest.raises((DataValidationError, ValueError)):
+            model.score_samples(np.ones((3, 7)))
+
+
+@pytest.mark.parametrize("make_model", CURVE_FITTERS)
+class TestPrincipalCurveInjection:
+    def test_nan_in_fit_raises(self, make_model):
+        X = _clean_data()
+        X[5, 0] = np.nan
+        with pytest.raises((DataValidationError, ValueError)):
+            make_model().fit(X)
+
+    def test_single_point_raises(self, make_model):
+        with pytest.raises((DataValidationError, ValueError)):
+            make_model().fit(np.ones((1, 2)))
+
+
+class TestOrderInjection:
+    def test_nan_points_raise(self):
+        order = RankingOrder(alpha=np.array([1.0, 1.0]))
+        with pytest.raises(DataValidationError):
+            order.dominance_matrix(np.array([[np.nan, 1.0]]))
+
+    def test_scorer_with_wrong_output_length_raises(self):
+        from repro.core.meta_rules import check_strict_monotonicity
+
+        order = RankingOrder(alpha=np.array([1.0, 1.0]))
+        with pytest.raises(DataValidationError):
+            check_strict_monotonicity(
+                lambda X: np.zeros(3), _clean_data(10), order
+            )
+
+
+class TestNormalizerInjection:
+    def test_nan_raises_on_fit_and_transform(self):
+        norm = MinMaxNormalizer().fit(_clean_data())
+        bad = _clean_data()
+        bad[0, 0] = np.nan
+        with pytest.raises(DataValidationError):
+            norm.transform(bad)
+        with pytest.raises(DataValidationError):
+            MinMaxNormalizer().fit(bad)
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_are_repro_and_value_errors(self):
+        """A caller can catch everything with either base class."""
+        from repro.core.exceptions import (
+            ConfigurationError,
+            DataValidationError,
+            MonotonicityError,
+        )
+
+        for exc_type in (
+            ConfigurationError,
+            DataValidationError,
+            MonotonicityError,
+        ):
+            assert issubclass(exc_type, ReproError)
+            assert issubclass(exc_type, ValueError)
+
+    def test_not_fitted_is_runtime_error(self):
+        from repro.core.exceptions import NotFittedError
+
+        assert issubclass(NotFittedError, ReproError)
+        assert issubclass(NotFittedError, RuntimeError)

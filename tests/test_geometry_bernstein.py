@@ -1,0 +1,133 @@
+"""Tests for the Bernstein basis (Eq.(13)–(15))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.geometry import (
+    CUBIC_M,
+    bernstein_basis,
+    bernstein_derivative_basis,
+    bernstein_design_matrix,
+    bernstein_to_power_matrix,
+    power_vector,
+)
+
+
+class TestBernsteinBasis:
+    def test_partition_of_unity(self):
+        s = np.linspace(0, 1, 50)
+        for k in (1, 2, 3, 5):
+            basis = bernstein_basis(k, s)
+            np.testing.assert_allclose(basis.sum(axis=0), 1.0, atol=1e-12)
+
+    def test_nonnegative_on_unit_interval(self):
+        s = np.linspace(0, 1, 50)
+        basis = bernstein_basis(3, s)
+        assert np.all(basis >= 0)
+
+    def test_endpoint_values(self):
+        basis = bernstein_basis(3, np.array([0.0, 1.0]))
+        # Only B_0 is 1 at s=0 and only B_3 at s=1.
+        np.testing.assert_allclose(basis[:, 0], [1, 0, 0, 0], atol=1e-15)
+        np.testing.assert_allclose(basis[:, 1], [0, 0, 0, 1], atol=1e-15)
+
+    def test_symmetry_identity(self):
+        # B_r^k(s) = B_{k-r}^k(1 - s).
+        s = np.linspace(0, 1, 17)
+        basis = bernstein_basis(3, s)
+        flipped = bernstein_basis(3, 1.0 - s)
+        for r in range(4):
+            np.testing.assert_allclose(basis[r], flipped[3 - r], atol=1e-12)
+
+    def test_degree_zero(self):
+        basis = bernstein_basis(0, np.array([0.3]))
+        np.testing.assert_allclose(basis, [[1.0]])
+
+    def test_explicit_cubic_values(self):
+        # B^3 at s = 0.5 is (1/8, 3/8, 3/8, 1/8).
+        basis = bernstein_basis(3, np.array([0.5]))
+        np.testing.assert_allclose(basis[:, 0], [1 / 8, 3 / 8, 3 / 8, 1 / 8])
+
+    def test_negative_degree_raises(self):
+        with pytest.raises(ConfigurationError):
+            bernstein_basis(-1, np.array([0.5]))
+
+
+class TestDesignMatrix:
+    def test_shape(self):
+        D = bernstein_design_matrix(3, np.linspace(0, 1, 7))
+        assert D.shape == (7, 4)
+
+    def test_rows_sum_to_one(self):
+        D = bernstein_design_matrix(4, np.linspace(0, 1, 9))
+        np.testing.assert_allclose(D.sum(axis=1), 1.0)
+
+
+class TestPowerConversion:
+    def test_cubic_matrix_matches_eq15(self):
+        expected = np.array(
+            [
+                [1, -3, 3, -1],
+                [0, 3, -6, 3],
+                [0, 0, 3, -3],
+                [0, 0, 0, 1],
+            ],
+            dtype=float,
+        )
+        np.testing.assert_array_equal(CUBIC_M, expected)
+        np.testing.assert_array_equal(bernstein_to_power_matrix(3), expected)
+
+    def test_conversion_consistency(self, rng):
+        # P M z must equal the Bernstein-form evaluation for any P, s.
+        for k in (1, 2, 3, 4):
+            P = rng.normal(size=(3, k + 1))
+            s = rng.uniform(size=11)
+            M = bernstein_to_power_matrix(k)
+            via_power = P @ M @ power_vector(s, k)
+            via_basis = P @ bernstein_basis(k, s)
+            np.testing.assert_allclose(via_power, via_basis, atol=1e-12)
+
+    def test_rows_of_m_sum_to_delta(self):
+        # Column 0 of M collects the constant terms: sum over r of
+        # M[r, 0] B-contribution must reproduce partition of unity,
+        # i.e. first column is e_0 summed: sum_r M[r, j] equals 1 for
+        # j = 0 and 0 otherwise.
+        for k in (1, 2, 3, 5):
+            M = bernstein_to_power_matrix(k)
+            col_sums = M.sum(axis=0)
+            expected = np.zeros(k + 1)
+            expected[0] = 1.0
+            np.testing.assert_allclose(col_sums, expected, atol=1e-12)
+
+
+class TestPowerVector:
+    def test_shape_and_values(self):
+        Z = power_vector(np.array([0.5, 2.0]), 3)
+        assert Z.shape == (4, 2)
+        np.testing.assert_allclose(Z[:, 0], [1, 0.5, 0.25, 0.125])
+        np.testing.assert_allclose(Z[:, 1], [1, 2, 4, 8])
+
+
+class TestDerivativeBasis:
+    def test_matches_finite_differences(self):
+        s = np.linspace(0.1, 0.9, 9)
+        eps = 1e-7
+        for k in (1, 2, 3):
+            analytic = bernstein_derivative_basis(k, s)
+            numeric = (
+                bernstein_basis(k, s + eps) - bernstein_basis(k, s - eps)
+            ) / (2 * eps)
+            np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_derivatives_sum_to_zero(self):
+        # d/ds of the partition of unity is zero.
+        s = np.linspace(0, 1, 21)
+        dbasis = bernstein_derivative_basis(3, s)
+        np.testing.assert_allclose(dbasis.sum(axis=0), 0.0, atol=1e-12)
+
+    def test_degree_zero_derivative_is_zero(self):
+        out = bernstein_derivative_basis(0, np.array([0.4]))
+        np.testing.assert_array_equal(out, [[0.0]])

@@ -1,0 +1,117 @@
+"""Tests for cubic specifics: pinned endpoints and Fig. 4 shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.geometry import (
+    basic_shapes_2d,
+    cubic_from_interior_points,
+    empirical_monotonicity_violations,
+    linear_cubic,
+    pinned_endpoints,
+    validate_direction_vector,
+)
+
+
+class TestDirectionVector:
+    def test_valid_vectors_pass(self):
+        out = validate_direction_vector([1, -1, 1])
+        np.testing.assert_array_equal(out, [1.0, -1.0, 1.0])
+
+    def test_invalid_entries_raise(self):
+        with pytest.raises(ConfigurationError):
+            validate_direction_vector([1, 0, -1])
+
+    def test_dimension_check(self):
+        with pytest.raises(ConfigurationError):
+            validate_direction_vector([1, -1], d=3)
+
+
+class TestPinnedEndpoints:
+    def test_all_benefit(self):
+        p0, p3 = pinned_endpoints([1, 1])
+        np.testing.assert_array_equal(p0, [0.0, 0.0])
+        np.testing.assert_array_equal(p3, [1.0, 1.0])
+
+    def test_mixed_direction(self):
+        # Cost attributes: best corner has value 0.
+        p0, p3 = pinned_endpoints([1, -1])
+        np.testing.assert_array_equal(p0, [0.0, 1.0])
+        np.testing.assert_array_equal(p3, [1.0, 0.0])
+
+    def test_endpoints_are_opposite_corners(self):
+        p0, p3 = pinned_endpoints([1, -1, 1, -1])
+        np.testing.assert_array_equal(p0 + p3, np.ones(4))
+
+
+class TestCubicBuilder:
+    def test_pins_ends(self):
+        curve = cubic_from_interior_points(
+            [1, -1], p1=[0.3, 0.7], p2=[0.6, 0.4]
+        )
+        np.testing.assert_array_equal(curve.start, [0.0, 1.0])
+        np.testing.assert_array_equal(curve.end, [1.0, 0.0])
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            cubic_from_interior_points([1, 1], p1=[0.5], p2=[0.5, 0.5])
+
+
+class TestBasicShapes:
+    def test_four_shapes_exist(self):
+        shapes = basic_shapes_2d()
+        assert set(shapes) == {"concave", "convex", "s_shape", "reverse_s"}
+
+    def test_all_shapes_strictly_monotone(self):
+        alpha = np.array([1.0, 1.0])
+        for name, curve in basic_shapes_2d().items():
+            report = empirical_monotonicity_violations(curve, alpha)
+            assert report.is_monotone, f"{name} violates monotonicity"
+
+    def test_shapes_have_distinct_curvature_signs(self):
+        # Sample y as a function of x; concave must lie above the
+        # diagonal, convex below, at the midpoint.
+        shapes = basic_shapes_2d()
+        mid = {}
+        for name, curve in shapes.items():
+            pts = curve.evaluate(np.linspace(0, 1, 101))
+            # y value where x closest to 0.5:
+            idx = int(np.argmin(np.abs(pts[0] - 0.5)))
+            mid[name] = pts[1, idx]
+        assert mid["concave"] > 0.55
+        assert mid["convex"] < 0.45
+
+    def test_s_shape_crosses_diagonal(self):
+        curve = basic_shapes_2d()["s_shape"]
+        pts = curve.evaluate(np.linspace(0, 1, 201))
+        gap = pts[1] - pts[0]
+        # The S shape sits above the diagonal early and below late.
+        assert gap[20] > 0 and gap[180] < 0
+
+
+class TestLinearCubic:
+    def test_traces_the_diagonal(self):
+        curve = linear_cubic([1, 1])
+        s = np.linspace(0, 1, 11)
+        pts = curve.evaluate(s)
+        np.testing.assert_allclose(pts[0], pts[1], atol=1e-12)
+        np.testing.assert_allclose(pts[0], s, atol=1e-12)
+
+    def test_mixed_alpha_diagonal(self):
+        curve = linear_cubic([1, -1])
+        s = np.linspace(0, 1, 11)
+        pts = curve.evaluate(s)
+        np.testing.assert_allclose(pts[0], s, atol=1e-12)
+        np.testing.assert_allclose(pts[1], 1.0 - s, atol=1e-12)
+
+    def test_linear_capacity_demonstration(self):
+        # The paper's "linear capacity" meta-rule: a cubic can be
+        # exactly linear, so the model family includes linear rules.
+        curve = linear_cubic([1, 1, 1])
+        s = np.linspace(0, 1, 9)
+        pts = curve.evaluate(s)
+        for j in range(3):
+            np.testing.assert_allclose(pts[j], s, atol=1e-12)

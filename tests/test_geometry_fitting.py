@@ -1,0 +1,117 @@
+"""Tests for unconstrained least-squares Bezier fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, DataValidationError
+from repro.geometry import (
+    chord_length_parameters,
+    cubic_from_interior_points,
+    fit_bezier_least_squares,
+)
+
+
+class TestChordLengthParameters:
+    def test_uniform_spacing_gives_uniform_parameters(self):
+        X = np.column_stack([np.linspace(0, 1, 5), np.zeros(5)])
+        s = chord_length_parameters(X)
+        np.testing.assert_allclose(s, np.linspace(0, 1, 5))
+
+    def test_uneven_spacing_reflected(self):
+        X = np.array([[0.0, 0.0], [0.1, 0.0], [1.0, 0.0]])
+        s = chord_length_parameters(X)
+        np.testing.assert_allclose(s, [0.0, 0.1, 1.0])
+
+    def test_coincident_points_fallback(self):
+        X = np.zeros((4, 2))
+        s = chord_length_parameters(X)
+        np.testing.assert_allclose(s, np.linspace(0, 1, 4))
+
+    def test_single_point_raises(self):
+        with pytest.raises(DataValidationError):
+            chord_length_parameters(np.ones((1, 2)))
+
+
+class TestFitBezierLeastSquares:
+    def test_recovers_noise_free_cubic(self):
+        true = cubic_from_interior_points(
+            [1.0, 1.0], p1=[0.2, 0.6], p2=[0.8, 0.4]
+        )
+        s_true = np.linspace(0, 1, 40)
+        X = true.evaluate(s_true).T
+        result = fit_bezier_least_squares(X, degree=3, parameters=s_true)
+        assert result.residual < 1e-18
+        np.testing.assert_allclose(
+            result.curve.control_points, true.control_points, atol=1e-8
+        )
+
+    def test_refinement_reduces_residual(self, rng):
+        true = cubic_from_interior_points(
+            [1.0, 1.0], p1=[0.2, 0.6], p2=[0.8, 0.4]
+        )
+        s_true = np.sort(rng.uniform(size=60))
+        X = true.evaluate(s_true).T + rng.normal(0, 0.005, (60, 2))
+        no_refine = fit_bezier_least_squares(X, degree=3, n_refinements=0)
+        refined = fit_bezier_least_squares(X, degree=3, n_refinements=5)
+        assert refined.residual <= no_refine.residual + 1e-12
+
+    def test_higher_degree_fits_at_least_as_well(self, rng):
+        true = cubic_from_interior_points(
+            [1.0, 1.0], p1=[0.1, 0.7], p2=[0.9, 0.3]
+        )
+        s_true = np.sort(rng.uniform(size=80))
+        X = true.evaluate(s_true).T + rng.normal(0, 0.01, (80, 2))
+        cubic = fit_bezier_least_squares(X, degree=3)
+        quintic = fit_bezier_least_squares(X, degree=5)
+        assert quintic.residual <= cubic.residual * 1.05
+
+    def test_unconstrained_beats_rpc_on_train_but_not_monotone(self):
+        """The constraints' cost/benefit, quantified: the free fit has
+        a lower residual but loses the monotonicity guarantee on
+        non-monotone data."""
+        rng = np.random.default_rng(9)
+        # A hook-shaped cloud (non-monotone in x).
+        t = np.linspace(0, 1, 100)
+        X = np.column_stack(
+            [0.5 + 0.5 * np.sin(2.5 * np.pi * t), t]
+        ) + rng.normal(0, 0.01, (100, 2))
+        free = fit_bezier_least_squares(X, degree=3)
+        from repro.geometry import empirical_monotonicity_violations
+
+        report = empirical_monotonicity_violations(
+            free.curve, np.array([1.0, 1.0])
+        )
+        assert not report.is_monotone  # the freedom shows
+
+    def test_uniform_parameterization_option(self, rng):
+        X = rng.uniform(size=(30, 2))
+        result = fit_bezier_least_squares(
+            X, degree=2, parameterization="uniform"
+        )
+        assert result.curve.degree == 2
+
+    def test_ridge_damping(self, rng):
+        # Heavily clustered parameters degenerate the design matrix;
+        # ridge keeps the solve finite.
+        s = np.full(30, 0.5) + rng.normal(0, 1e-8, 30)
+        X = rng.uniform(size=(30, 2))
+        result = fit_bezier_least_squares(
+            X, degree=3, parameters=np.clip(s, 0, 1), n_refinements=0,
+            ridge=1e-6,
+        )
+        assert np.all(np.isfinite(result.curve.control_points))
+
+    def test_invalid_inputs(self, rng):
+        X = rng.uniform(size=(10, 2))
+        with pytest.raises(ConfigurationError):
+            fit_bezier_least_squares(X, degree=0)
+        with pytest.raises(ConfigurationError):
+            fit_bezier_least_squares(X[:3], degree=5)
+        with pytest.raises(ConfigurationError):
+            fit_bezier_least_squares(X, ridge=-1.0)
+        with pytest.raises(ConfigurationError):
+            fit_bezier_least_squares(X, parameterization="arc")
+        with pytest.raises(DataValidationError):
+            fit_bezier_least_squares(X, parameters=np.ones(3))

@@ -1,0 +1,140 @@
+"""Tests for Proposition 1 constraint checking and monotonicity scans."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import MonotonicityError
+from repro.geometry import (
+    BezierCurve,
+    check_rpc_constraints,
+    clip_to_interior,
+    cubic_from_interior_points,
+    empirical_monotonicity_violations,
+    is_coordinatewise_monotone,
+    pinned_endpoints,
+)
+
+
+@pytest.fixture
+def valid_rpc_points():
+    """Constraint-satisfying control points for alpha = (1, -1)."""
+    alpha = np.array([1.0, -1.0])
+    p0, p3 = pinned_endpoints(alpha)
+    p1 = np.array([0.2, 0.7])
+    p2 = np.array([0.7, 0.2])
+    return np.column_stack([p0, p1, p2, p3]), alpha
+
+
+class TestConstraintCheck:
+    def test_valid_points_pass(self, valid_rpc_points):
+        P, alpha = valid_rpc_points
+        check_rpc_constraints(P, alpha)  # should not raise
+
+    def test_wrong_start_raises(self, valid_rpc_points):
+        P, alpha = valid_rpc_points
+        P = P.copy()
+        P[:, 0] = [0.1, 0.9]
+        with pytest.raises(MonotonicityError):
+            check_rpc_constraints(P, alpha)
+
+    def test_wrong_end_raises(self, valid_rpc_points):
+        P, alpha = valid_rpc_points
+        P = P.copy()
+        P[:, -1] = [0.9, 0.1]
+        with pytest.raises(MonotonicityError):
+            check_rpc_constraints(P, alpha)
+
+    def test_interior_on_boundary_raises(self, valid_rpc_points):
+        P, alpha = valid_rpc_points
+        P = P.copy()
+        P[0, 1] = 0.0  # on the cube boundary, not strictly inside
+        with pytest.raises(MonotonicityError):
+            check_rpc_constraints(P, alpha)
+
+    def test_interior_outside_raises(self, valid_rpc_points):
+        P, alpha = valid_rpc_points
+        P = P.copy()
+        P[1, 2] = 1.4
+        with pytest.raises(MonotonicityError):
+            check_rpc_constraints(P, alpha)
+
+
+class TestClipToInterior:
+    def test_clips_and_pins(self):
+        alpha = np.array([1.0, -1.0])
+        P = np.array(
+            [
+                [0.5, -0.3, 1.8, 0.2],
+                [0.5, 0.4, 0.6, 0.9],
+            ]
+        )
+        clipped = clip_to_interior(P, alpha, margin=1e-3)
+        check_rpc_constraints(clipped, alpha)  # valid after clipping
+
+    def test_feasible_points_unchanged_in_interior(self, valid_rpc_points):
+        P, alpha = valid_rpc_points
+        clipped = clip_to_interior(P, alpha)
+        np.testing.assert_allclose(clipped[:, 1:-1], P[:, 1:-1])
+
+    def test_original_not_mutated(self):
+        alpha = np.array([1.0, 1.0])
+        P = np.full((2, 4), 2.0)
+        P_copy = P.copy()
+        clip_to_interior(P, alpha)
+        np.testing.assert_array_equal(P, P_copy)
+
+
+class TestCertificate:
+    def test_constrained_cubic_certified(self):
+        curve = cubic_from_interior_points(
+            [1, 1], p1=[0.3, 0.2], p2=[0.6, 0.7]
+        )
+        # Forward differences all positive -> certificate holds.
+        assert is_coordinatewise_monotone(curve, [1, 1])
+
+    def test_s_shape_not_certified_but_monotone(self):
+        # Interior points overshooting in y make some forward
+        # differences negative even though the curve itself is
+        # monotone — the certificate is only sufficient.
+        curve = cubic_from_interior_points(
+            [1, 1], p1=[0.1, 0.8], p2=[0.9, 0.2]
+        )
+        certified = is_coordinatewise_monotone(curve, [1, 1])
+        report = empirical_monotonicity_violations(curve, [1, 1])
+        assert report.is_monotone
+        assert not certified  # diffs: y goes 0.8 -> 0.2 between p1, p2
+
+    def test_nonmonotone_curve_flagged(self):
+        # A hook: x backtracks.
+        P = np.array(
+            [
+                [0.0, 1.2, -0.4, 1.0],
+                [0.0, 0.2, 0.8, 1.0],
+            ]
+        )
+        curve = BezierCurve(P)
+        report = empirical_monotonicity_violations(curve, [1, 1])
+        assert not report.is_monotone
+        assert report.n_violations > 0
+        assert report.worst_step < 0
+        assert report.violating_parameters.size == report.n_violations
+
+
+class TestPropositionOne:
+    """Randomised check of Proposition 1 over many feasible curves."""
+
+    def test_random_feasible_cubics_are_monotone(self, rng):
+        for _ in range(50):
+            d = int(rng.integers(2, 6))
+            alpha = rng.choice([-1.0, 1.0], size=d)
+            p1 = rng.uniform(0.01, 0.99, size=d)
+            p2 = rng.uniform(0.01, 0.99, size=d)
+            curve = cubic_from_interior_points(alpha, p1, p2)
+            report = empirical_monotonicity_violations(
+                curve, alpha, n_samples=512
+            )
+            assert report.is_monotone, (
+                f"Proposition 1 violated for alpha={alpha}, p1={p1}, p2={p2}"
+            )

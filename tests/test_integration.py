@@ -1,0 +1,309 @@
+"""Cross-module integration tests: the paper's claims end to end."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import RankingPrincipalCurve
+from repro.baselines import (
+    FirstPCARanker,
+    MedianRankAggregator,
+    WeightedSumRanker,
+)
+from repro.core.order import RankingOrder
+from repro.data import (
+    load_countries,
+    load_journals,
+    sample_crescent,
+    table1a_objects,
+    table1b_objects,
+)
+from repro.data.normalize import normalize_unit_cube
+from repro.evaluation import (
+    compare_rankers,
+    count_order_violations,
+    kendall_tau,
+    spearman_rho,
+)
+from repro.princurve import ElasticMapCurve, PolygonalLineCurve
+
+
+@pytest.fixture(scope="module")
+def country_fit():
+    data = load_countries()
+    model = RankingPrincipalCurve(
+        alpha=data.alpha, random_state=0, n_restarts=2
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        model.fit(data.X)
+    return data, model
+
+
+class TestCountryExperiment:
+    """Table 2 behaviour on the (partially synthetic) country data."""
+
+    def test_explained_variance_near_paper(self, country_fit):
+        data, model = country_fit
+        ev = model.explained_variance(data.X)
+        # Paper reports ~90%; the reconstruction must land close.
+        assert ev > 0.85
+
+    def test_rpc_beats_elmap_fit(self, country_fit):
+        """Table 2's 90% vs 86% explained-variance comparison.  The
+        Elmap configuration is calibrated to the regularisation level
+        of Gorban et al.'s quality-of-life map (a visibly stiff chain);
+        see EXPERIMENTS.md for the paper-vs-measured numbers."""
+        data, model = country_fit
+        X_unit = normalize_unit_cube(data.X)
+        elmap = ElasticMapCurve(
+            n_nodes=10, stretch=0.1, bend=1.0, orient_alpha=data.alpha
+        ).fit(X_unit)
+        assert model.explained_variance(data.X) > elmap.explained_variance(
+            X_unit
+        )
+
+    def test_luxembourg_top_swaziland_bottom_among_real(self, country_fit):
+        data, model = country_fit
+        ranking = model.rank(data.X, labels=data.labels)
+        real = [
+            label
+            for label, flag in zip(data.labels, data.is_from_paper)
+            if flag
+        ]
+        positions = {label: ranking.position_of(label) for label in real}
+        assert positions["Luxembourg"] == min(positions.values())
+        assert positions["Swaziland"] == max(positions.values())
+
+    def test_tier_structure_of_real_countries(self, country_fit):
+        """The paper's top tier must outrank the middle tier, which
+        must outrank the bottom tier."""
+        data, model = country_fit
+        ranking = model.rank(data.X, labels=data.labels)
+        top = ["Luxembourg", "Norway", "Kuwait", "Singapore", "United States"]
+        middle = ["Moldova", "Vanuatu", "Suriname", "Morocco", "Iraq"]
+        bottom = [
+            "South Africa",
+            "Sierra Leone",
+            "Djibouti",
+            "Zimbabwe",
+            "Swaziland",
+        ]
+        worst_top = max(ranking.position_of(c) for c in top)
+        best_mid = min(ranking.position_of(c) for c in middle)
+        worst_mid = max(ranking.position_of(c) for c in middle)
+        best_bottom = min(ranking.position_of(c) for c in bottom)
+        assert worst_top < best_mid
+        assert worst_mid < best_bottom
+
+    def test_scores_span_most_of_unit_interval(self, country_fit):
+        """Scores live in [0, 1] with the extremes near the worst/best
+        reference corners (the paper's Swaziland-0 / Luxembourg-1
+        anchoring, up to projection slack)."""
+        data, model = country_fit
+        s = model.score_samples(data.X)
+        assert s.min() < 0.15
+        assert s.max() > 0.9
+        assert np.all((s >= 0.0) & (s <= 1.0))
+
+    def test_no_strict_monotonicity_violations(self, country_fit):
+        data, model = country_fit
+        order = RankingOrder(alpha=data.alpha)
+        summary = count_order_violations(
+            model.score_samples, data.X, order, tie_tol=1e-9
+        )
+        assert summary.n_inversions == 0
+
+
+class TestJournalExperiment:
+    """Table 3 behaviour on the (partially synthetic) journal data."""
+
+    @pytest.fixture(scope="class")
+    def journal_fit(self):
+        data = load_journals()
+        model = RankingPrincipalCurve(
+            alpha=data.alpha, random_state=0, n_restarts=2
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            model.fit(data.X)
+        return data, model
+
+    def test_pattern_analysis_in_top_tier(self, journal_fit):
+        data, model = journal_fit
+        ranking = model.rank(data.X, labels=data.labels)
+        top_real = [
+            "IEEE T PATTERN ANAL",
+            "ENTERP INF SYST UK",
+            "J STAT SOFTW",
+            "MIS QUART",
+            "ACM COMPUT SURV",
+        ]
+        mid_real = [
+            "DECIS SUPPORT SYST",
+            "COMPUT STAT DATA AN",
+            "IEEE T KNOWL DATA EN",
+            "MACH LEARN",
+            "IEEE T SYST MAN CY A",
+        ]
+        worst_top = max(ranking.position_of(j) for j in top_real)
+        best_mid = min(ranking.position_of(j) for j in mid_real)
+        assert worst_top < best_mid
+
+    def test_tkde_smca_gap_shrinks_vs_raw_if(self, journal_fit):
+        """The paper's headline observation: by raw IF, SMC-A (2.183)
+        clearly outranks TKDE (1.892); RPC's comprehensive score pulls
+        them together because TKDE's higher influence score compensates
+        ("one indicator does not tell the whole story")."""
+        data, model = journal_fit
+        ranking = model.rank(data.X, labels=data.labels)
+        from repro.core.scoring import build_ranking_list
+
+        if_ranking = build_ranking_list(data.X[:, 0], labels=data.labels)
+        if_gap = if_ranking.position_of(
+            "IEEE T KNOWL DATA EN"
+        ) - if_ranking.position_of("IEEE T SYST MAN CY A")
+        rpc_gap = ranking.position_of(
+            "IEEE T KNOWL DATA EN"
+        ) - ranking.position_of("IEEE T SYST MAN CY A")
+        assert if_gap > 0  # SMC-A above TKDE on raw IF
+        assert abs(rpc_gap) < if_gap  # RPC closes (or flips) the gap
+
+
+class TestToyExperiment:
+    """Table 1 / Fig. 6: RPC separates what RankAgg cannot."""
+
+    def _fit_scores(self, toy):
+        # Three points cannot anchor an RPC fit alone; Fig. 6 draws the
+        # toy objects against an S-type ranking curve learned from a
+        # broader cloud.  Sample that supporting cloud around the
+        # S-shaped cubic of Fig. 4 so the learned curve matches the
+        # figure, then score the toy objects on it.
+        from repro.data.synthetic import sample_around_curve
+        from repro.geometry import cubic_from_interior_points
+
+        s_curve = cubic_from_interior_points(
+            toy.alpha, p1=[0.1, 0.6], p2=[0.9, 0.4]
+        )
+        support = sample_around_curve(s_curve, n=80, noise=0.02, seed=1)
+        X = np.vstack([toy.X, support.X, [[0.0, 0.0], [1.0, 1.0]]])
+        model = RankingPrincipalCurve(
+            alpha=toy.alpha, random_state=0, n_restarts=1, init="linear"
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            model.fit(X)
+        return model.score_samples(toy.X)
+
+    def test_rankagg_ties_but_rpc_separates(self):
+        toy = table1a_objects()
+        agg = MedianRankAggregator(alpha=toy.alpha).score_samples(toy.X)
+        assert agg[0] == agg[1]  # A ties B under RankAgg
+        rpc_scores = self._fit_scores(toy)
+        assert abs(rpc_scores[0] - rpc_scores[1]) > 1e-4  # RPC separates
+
+    def test_rpc_order_matches_paper_table1a(self):
+        toy = table1a_objects()
+        scores = self._fit_scores(toy)
+        # Paper order: A < B < C by score.
+        assert scores[0] < scores[1] < scores[2]
+
+    def test_perturbation_flips_rpc_but_not_rankagg(self):
+        a = table1a_objects()
+        b = table1b_objects()
+        agg = MedianRankAggregator(alpha=a.alpha)
+        np.testing.assert_allclose(
+            agg.score_samples(a.X), agg.score_samples(b.X)
+        )
+        scores_b = self._fit_scores(b)
+        # Paper Table 1(b): A' now scores above B.
+        assert scores_b[0] > scores_b[1]
+
+
+class TestCrescentShowdown:
+    """Fig. 5: RPC's curved monotone skeleton vs straight/free curves."""
+
+    def test_rpc_beats_pca_on_crescent(self):
+        cloud = sample_crescent(n=250, seed=13, width=0.03)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            rpc = RankingPrincipalCurve(
+                alpha=[1, 1], random_state=0, n_restarts=2
+            ).fit(cloud.X)
+        pca = FirstPCARanker(alpha=[1, 1]).fit(cloud.X)
+        assert rpc.explained_variance(cloud.X) > pca.explained_variance(
+            cloud.X
+        ) + 0.03
+
+    def test_rpc_recovers_latent_better_than_polyline_is_comparable(self):
+        cloud = sample_crescent(n=250, seed=14, width=0.03)
+        X = normalize_unit_cube(cloud.X)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            rpc = RankingPrincipalCurve(
+                alpha=[1, 1], random_state=0, n_restarts=2
+            ).fit(cloud.X)
+        poly = PolygonalLineCurve(
+            n_vertices=8, orient_alpha=np.array([1.0, 1.0])
+        ).fit(X)
+        rho_rpc = spearman_rho(rpc.score_samples(cloud.X), cloud.latent)
+        rho_poly = spearman_rho(poly.score_samples(X), cloud.latent)
+        assert rho_rpc > 0.97
+        assert rho_rpc >= rho_poly - 0.01
+
+    def test_polyline_violates_rpc_does_not(self):
+        cloud = sample_crescent(n=200, seed=15, width=0.05)
+        X = normalize_unit_cube(cloud.X)
+        order = RankingOrder(alpha=np.array([1.0, 1.0]))
+        poly = PolygonalLineCurve(
+            n_vertices=8, orient_alpha=np.array([1.0, 1.0])
+        ).fit(X)
+        poly_summary = count_order_violations(poly.score_samples, X, order)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            rpc = RankingPrincipalCurve(
+                alpha=[1, 1], random_state=0, n_restarts=2
+            ).fit(cloud.X)
+        rpc_summary = count_order_violations(
+            rpc.score_samples, cloud.X, order, tie_tol=1e-9
+        )
+        assert poly_summary.n_violations > 0
+        assert rpc_summary.n_inversions == 0
+
+
+class TestModelComparisonPipeline:
+    def test_compare_rankers_on_countries(self):
+        data = load_countries(n_countries=60)
+        models = {
+            "rpc": RankingPrincipalCurve(
+                alpha=data.alpha, random_state=0, n_restarts=1, init="linear"
+            ),
+            "pca": FirstPCARanker(alpha=data.alpha),
+            "wsum": WeightedSumRanker(alpha=data.alpha),
+        }
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            comparison = compare_rankers(models, data.X, labels=data.labels)
+        agreement = comparison.agreement_matrix()
+        # All reasonable models agree strongly on this well-ordered data.
+        for pair, tau in agreement.items():
+            assert tau > 0.5, f"{pair} disagreed: tau={tau}"
+        table = comparison.table(rows=["Luxembourg", "Swaziland"], sort_by="rpc")
+        assert "Luxembourg" in table
+
+
+class TestRankOrderStability:
+    def test_rpc_kendall_stable_across_seeds(self):
+        cloud = sample_crescent(n=120, seed=20, width=0.02)
+        scores = []
+        for seed in (1, 2):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                model = RankingPrincipalCurve(
+                    alpha=[1, 1], random_state=seed, n_restarts=2
+                ).fit(cloud.X)
+            scores.append(model.score_samples(cloud.X))
+        assert kendall_tau(scores[0], scores[1]) > 0.99

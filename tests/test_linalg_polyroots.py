@@ -1,0 +1,148 @@
+"""Tests for polynomial root finding and interval minimisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.linalg import (
+    minimize_polynomial_on_interval,
+    newton_polish,
+    polynomial_derivative,
+    polyval_ascending,
+    real_roots,
+    real_roots_in_interval,
+)
+
+
+class TestPolyvalAscending:
+    def test_constant(self):
+        out = polyval_ascending(np.array([5.0]), np.array([0.0, 1.0, 2.0]))
+        np.testing.assert_array_equal(out, [5.0, 5.0, 5.0])
+
+    def test_cubic(self):
+        # p(s) = 1 + 2s + 3s^2 + 4s^3; p(2) = 1 + 4 + 12 + 32 = 49.
+        coeffs = np.array([1.0, 2.0, 3.0, 4.0])
+        assert polyval_ascending(coeffs, np.array([2.0]))[0] == pytest.approx(49.0)
+
+    def test_matches_numpy_polyval(self, rng):
+        coeffs = rng.normal(size=6)
+        x = rng.normal(size=10)
+        expected = np.polyval(coeffs[::-1], x)
+        np.testing.assert_allclose(polyval_ascending(coeffs, x), expected)
+
+
+class TestPolynomialDerivative:
+    def test_constant_derivative_is_zero(self):
+        np.testing.assert_array_equal(
+            polynomial_derivative(np.array([3.0])), [0.0]
+        )
+
+    def test_cubic_derivative(self):
+        # d/ds (1 + 2s + 3s^2 + 4s^3) = 2 + 6s + 12s^2.
+        out = polynomial_derivative(np.array([1.0, 2.0, 3.0, 4.0]))
+        np.testing.assert_allclose(out, [2.0, 6.0, 12.0])
+
+
+class TestRealRoots:
+    def test_quadratic_roots(self):
+        # (s - 1)(s - 3) = 3 - 4s + s^2.
+        roots = real_roots(np.array([3.0, -4.0, 1.0]))
+        np.testing.assert_allclose(roots, [1.0, 3.0], atol=1e-9)
+
+    def test_complex_roots_excluded(self):
+        # s^2 + 1 has no real roots.
+        roots = real_roots(np.array([1.0, 0.0, 1.0]))
+        assert roots.size == 0
+
+    def test_trailing_zeros_trimmed(self):
+        # Degenerate quintic that is really linear: 2 - s.
+        coeffs = np.array([2.0, -1.0, 0.0, 0.0, 0.0, 0.0])
+        roots = real_roots(coeffs)
+        np.testing.assert_allclose(roots, [2.0], atol=1e-9)
+
+    def test_constant_has_no_roots(self):
+        assert real_roots(np.array([7.0])).size == 0
+
+    def test_zero_polynomial_returns_empty(self):
+        assert real_roots(np.zeros(4)).size == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            real_roots(np.array([]))
+
+    def test_quintic_known_roots(self):
+        # s(s-0.2)(s-0.4)(s-0.6)(s-0.8) expanded via polynomial product.
+        target = [0.0, 0.2, 0.4, 0.6, 0.8]
+        coeffs_desc = np.poly(target)
+        roots = real_roots(coeffs_desc[::-1])
+        np.testing.assert_allclose(np.sort(roots), target, atol=1e-8)
+
+
+class TestRealRootsInInterval:
+    def test_filters_outside_roots(self):
+        # Roots at 0.5 and 2.0; only 0.5 is in [0, 1].
+        coeffs_desc = np.poly([0.5, 2.0])
+        roots = real_roots_in_interval(coeffs_desc[::-1], 0.0, 1.0)
+        np.testing.assert_allclose(roots, [0.5], atol=1e-9)
+
+    def test_boundary_roots_kept(self):
+        coeffs_desc = np.poly([0.0, 1.0])
+        roots = real_roots_in_interval(coeffs_desc[::-1], 0.0, 1.0)
+        np.testing.assert_allclose(np.sort(roots), [0.0, 1.0], atol=1e-9)
+
+    def test_no_roots_in_interval(self):
+        coeffs_desc = np.poly([5.0])
+        roots = real_roots_in_interval(coeffs_desc[::-1], 0.0, 1.0)
+        assert roots.size == 0
+
+
+class TestNewtonPolish:
+    def test_improves_perturbed_roots(self):
+        coeffs_desc = np.poly([0.3, 0.7])
+        coeffs = coeffs_desc[::-1].copy()
+        rough = np.array([0.30001, 0.69999])
+        polished = newton_polish(coeffs, rough)
+        np.testing.assert_allclose(polished, [0.3, 0.7], atol=1e-12)
+
+    def test_zero_derivative_left_unchanged(self):
+        # p(s) = s^2 has p'(0) = 0; polishing at 0 must not blow up.
+        polished = newton_polish(np.array([0.0, 0.0, 1.0]), np.array([0.0]))
+        assert np.isfinite(polished[0])
+
+
+class TestMinimizeOnInterval:
+    def test_interior_minimum(self):
+        # (s - 0.4)^2 = 0.16 - 0.8 s + s^2.
+        s = minimize_polynomial_on_interval(np.array([0.16, -0.8, 1.0]))
+        assert s == pytest.approx(0.4, abs=1e-9)
+
+    def test_boundary_minimum(self):
+        # Increasing on [0, 1]: minimum at 0.
+        s = minimize_polynomial_on_interval(np.array([0.0, 1.0]))
+        assert s == pytest.approx(0.0)
+
+    def test_global_vs_local(self):
+        # Degree-6 with two wells; global well centred at 0.8.
+        grid = np.linspace(0, 1, 1001)
+
+        def build(c1, c2, depth):
+            # f = (s-c1)^2 (s-c2)^2 ((s-c2)^2 + depth) keeps c2 global.
+            p1 = np.poly([c1, c1])[::-1]
+            p2 = np.poly([c2, c2])[::-1]
+            prod = np.polynomial.polynomial.polymul(p1, p2)
+            return np.polynomial.polynomial.polymul(
+                prod, np.array([depth, 0.0, 0.0]) + np.array([0.0, 0.0, 1.0])
+            )
+
+        coeffs = build(0.2, 0.8, 0.05)
+        s = minimize_polynomial_on_interval(coeffs)
+        vals = polyval_ascending(coeffs, grid)
+        assert polyval_ascending(coeffs, np.array([s]))[0] <= vals.min() + 1e-12
+
+    def test_custom_interval(self):
+        s = minimize_polynomial_on_interval(
+            np.array([0.16, -0.8, 1.0]), lo=0.5, hi=1.0
+        )
+        assert s == pytest.approx(0.5)

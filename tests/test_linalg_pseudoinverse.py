@@ -1,0 +1,77 @@
+"""Tests for the pseudo-inverse solve and conditioning diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.linalg import condition_number, pinv_solve
+
+
+class TestPinvSolve:
+    def test_recovers_exact_solution(self, rng):
+        G = rng.normal(size=(4, 30))
+        P_true = rng.normal(size=(3, 4))
+        X = P_true @ G
+        P, diag = pinv_solve(G, X)
+        np.testing.assert_allclose(P, P_true, atol=1e-8)
+        assert diag.rank == 4
+
+    def test_least_squares_optimality(self, rng):
+        G = rng.normal(size=(4, 30))
+        X = rng.normal(size=(3, 30))
+        P, _ = pinv_solve(G, X)
+        # Perturbations must not reduce the residual.
+        base = np.linalg.norm(X - P @ G)
+        for _ in range(5):
+            P_perturbed = P + rng.normal(scale=1e-3, size=P.shape)
+            assert np.linalg.norm(X - P_perturbed @ G) >= base - 1e-12
+
+    def test_matches_numpy_pinv(self, rng):
+        G = rng.normal(size=(4, 20))
+        X = rng.normal(size=(2, 20))
+        P, _ = pinv_solve(G, X)
+        np.testing.assert_allclose(P, X @ np.linalg.pinv(G), atol=1e-10)
+
+    def test_rank_deficient_reported(self, rng):
+        row = rng.normal(size=(1, 20))
+        G = np.vstack([row, row, row, 2 * row])  # rank 1
+        X = rng.normal(size=(2, 20))
+        _P, diag = pinv_solve(G, X)
+        assert diag.rank == 1
+        assert diag.singular_values.shape == (4,)
+
+    def test_column_count_mismatch_raises(self, rng):
+        with pytest.raises(ConfigurationError):
+            pinv_solve(rng.normal(size=(4, 10)), rng.normal(size=(2, 11)))
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ConfigurationError):
+            pinv_solve(np.ones(4), np.ones((2, 4)))
+
+
+class TestConditionNumber:
+    def test_identity_is_one(self):
+        assert condition_number(np.eye(5)) == pytest.approx(1.0)
+
+    def test_scaling_inflates_condition(self):
+        A = np.diag([1.0, 1e-6])
+        assert condition_number(A) == pytest.approx(1e6, rel=1e-6)
+
+    def test_singular_is_inf(self):
+        A = np.zeros((3, 3))
+        assert condition_number(A) == np.inf
+
+    def test_ill_conditioned_power_basis(self):
+        # The paper's motivation: clustered scores make (M Z) nearly
+        # singular, so the condition number explodes.
+        from repro.geometry.bernstein import bernstein_to_power_matrix, power_vector
+
+        s_clustered = np.full(50, 0.5) + np.linspace(0, 1e-8, 50)
+        Z = power_vector(s_clustered, 3)
+        G = bernstein_to_power_matrix(3) @ Z
+        s_spread = np.linspace(0, 1, 50)
+        Z2 = power_vector(s_spread, 3)
+        G2 = bernstein_to_power_matrix(3) @ Z2
+        assert condition_number(G) > 1e6 * condition_number(G2)

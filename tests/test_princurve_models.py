@@ -1,0 +1,178 @@
+"""Tests for the three principal-curve comparator models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    NotFittedError,
+)
+from repro.data.normalize import normalize_unit_cube
+from repro.data.synthetic import sample_crescent, sample_ellipse
+from repro.evaluation.metrics import spearman_rho
+from repro.princurve import (
+    ElasticMapCurve,
+    HastieStuetzleCurve,
+    PolygonalLineCurve,
+    project_to_polyline,
+)
+
+ALL_MODELS = [
+    lambda: HastieStuetzleCurve(),
+    lambda: PolygonalLineCurve(),
+    lambda: ElasticMapCurve(),
+]
+
+
+class TestPolylineProjection:
+    def test_projection_onto_segment(self):
+        vertices = np.array([[0.0, 0.0], [1.0, 0.0]])
+        X = np.array([[0.5, 1.0], [-1.0, 0.0], [2.0, 0.5]])
+        s, pts = project_to_polyline(X, vertices)
+        np.testing.assert_allclose(pts[0], [0.5, 0.0])
+        np.testing.assert_allclose(pts[1], [0.0, 0.0])  # clamped to start
+        np.testing.assert_allclose(pts[2], [1.0, 0.0])  # clamped to end
+        np.testing.assert_allclose(s, [0.5, 0.0, 1.0])
+
+    def test_arclength_parametrisation(self):
+        # Two segments of different lengths: s must be proportional to
+        # the distance travelled, not to the segment index.
+        vertices = np.array([[0.0, 0.0], [3.0, 0.0], [3.0, 1.0]])
+        X = np.array([[3.0, 0.0]])
+        s, _ = project_to_polyline(X, vertices)
+        assert s[0] == pytest.approx(0.75)  # 3 of total length 4
+
+    def test_single_vertex_raises(self):
+        with pytest.raises(DataValidationError):
+            project_to_polyline(np.ones((2, 2)), np.ones((1, 2)))
+
+
+@pytest.mark.parametrize("make_model", ALL_MODELS)
+class TestCommonBehaviour:
+    def test_fit_score_shapes(self, make_model, crescent_unit):
+        model = make_model().fit(crescent_unit)
+        s = model.score_samples(crescent_unit)
+        assert s.shape == (crescent_unit.shape[0],)
+        pts = model.project_points(crescent_unit)
+        assert pts.shape == crescent_unit.shape
+
+    def test_unfitted_raises(self, make_model, crescent_unit):
+        with pytest.raises(NotFittedError):
+            make_model().score_samples(crescent_unit)
+
+    def test_explained_variance_beats_pca_on_crescent(self, make_model):
+        cloud = sample_crescent(n=200, seed=3, width=0.02)
+        X = normalize_unit_cube(cloud.X)
+        model = make_model().fit(X)
+        # A curved skeleton must explain a crescent much better than
+        # a straight line.
+        centred = X - X.mean(axis=0)
+        _u, sv, _vt = np.linalg.svd(centred, full_matrices=False)
+        pca_ev = sv[0] ** 2 / np.sum(sv**2)
+        assert model.explained_variance(X) > pca_ev + 0.02
+
+    def test_recovers_latent_order_when_oriented(self, make_model):
+        cloud = sample_crescent(n=200, seed=4, width=0.02)
+        X = normalize_unit_cube(cloud.X)
+        model = make_model()
+        model.orient_alpha = np.array([1.0, 1.0])
+        model.fit(X)
+        rho = spearman_rho(model.score_samples(X), cloud.latent)
+        assert rho > 0.95
+
+    def test_reconstruction_error_nonnegative(self, make_model, crescent_unit):
+        model = make_model().fit(crescent_unit)
+        assert model.reconstruction_error(crescent_unit) >= 0.0
+
+    def test_too_few_points_raise(self, make_model):
+        with pytest.raises(DataValidationError):
+            make_model().fit(np.ones((1, 2)))
+
+
+class TestHastieStuetzle:
+    def test_straight_data_gives_straight_curve(self):
+        cloud = sample_ellipse(n=200, eccentricity=0.995, seed=5, noise=0.0)
+        X = normalize_unit_cube(cloud.X)
+        model = HastieStuetzleCurve(bandwidth=0.3).fit(X)
+        # All fitted nodes must lie near the diagonal line y = x.
+        nodes = model.nodes_
+        assert nodes is not None
+        deviation = np.abs(nodes[:, 1] - nodes[:, 0]).max()
+        assert deviation < 0.1
+
+    def test_smoother_selection(self, crescent_unit):
+        for smoother in ("kernel", "local_linear", "running_mean"):
+            model = HastieStuetzleCurve(smoother=smoother, max_iter=5)
+            model.fit(crescent_unit)
+            assert model.n_iterations_ >= 1
+
+    def test_unknown_smoother_raises(self):
+        with pytest.raises(ConfigurationError):
+            HastieStuetzleCurve(smoother="spline")
+
+    def test_parameter_size_is_unknown(self):
+        assert HastieStuetzleCurve().parameter_size is None
+
+
+class TestPolygonalLine:
+    def test_vertex_count_honoured(self, crescent_unit):
+        model = PolygonalLineCurve(n_vertices=6).fit(crescent_unit)
+        assert model.vertices_ is not None
+        assert model.vertices_.shape == (6, 2)
+
+    def test_more_vertices_fit_better(self):
+        cloud = sample_crescent(n=250, seed=6, width=0.02)
+        X = normalize_unit_cube(cloud.X)
+        coarse = PolygonalLineCurve(n_vertices=2).fit(X)
+        fine = PolygonalLineCurve(n_vertices=10).fit(X)
+        assert fine.reconstruction_error(X) < coarse.reconstruction_error(X)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PolygonalLineCurve(n_vertices=1)
+        with pytest.raises(ConfigurationError):
+            PolygonalLineCurve(curvature_penalty=-1.0)
+
+    def test_parameter_size_after_fit(self, crescent_unit):
+        model = PolygonalLineCurve(n_vertices=5)
+        assert model.parameter_size is None  # unknown before fitting
+        model.fit(crescent_unit)
+        assert model.parameter_size == 10  # 5 vertices x 2 dims
+
+
+class TestElasticMap:
+    def test_energy_decreases(self, crescent_unit):
+        model = ElasticMapCurve(n_nodes=20).fit(crescent_unit)
+        energies = np.asarray(model.energy_trace_)
+        assert energies.size >= 2
+        assert np.all(np.diff(energies) <= 1e-9)
+
+    def test_centered_scores_have_zero_mean(self, crescent_unit):
+        model = ElasticMapCurve(centered_scores=True).fit(crescent_unit)
+        s = model.score_samples(crescent_unit)
+        assert abs(float(s.mean())) < 1e-9
+
+    def test_uncentered_scores_in_unit_interval(self, crescent_unit):
+        model = ElasticMapCurve(centered_scores=False).fit(crescent_unit)
+        s = model.score_samples(crescent_unit)
+        assert s.min() >= 0.0 and s.max() <= 1.0
+
+    def test_stiff_map_straightens(self):
+        cloud = sample_crescent(n=200, seed=7, width=0.02)
+        X = normalize_unit_cube(cloud.X)
+        soft = ElasticMapCurve(stretch=0.001, bend=0.01).fit(X)
+        stiff = ElasticMapCurve(stretch=5.0, bend=50.0).fit(X)
+        # A stiff chain cannot bend into the crescent: worse fit.
+        assert stiff.explained_variance(X) < soft.explained_variance(X)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ElasticMapCurve(n_nodes=2)
+        with pytest.raises(ConfigurationError):
+            ElasticMapCurve(stretch=-0.1)
+
+    def test_parameter_size_is_unknown(self):
+        assert ElasticMapCurve().parameter_size is None

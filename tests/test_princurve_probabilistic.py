@@ -1,0 +1,81 @@
+"""Tests for the Tibshirani probabilistic principal curve."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, NotFittedError
+from repro.data.normalize import normalize_unit_cube
+from repro.data.synthetic import sample_crescent, sample_ellipse
+from repro.evaluation.metrics import spearman_rho
+from repro.princurve import TibshiraniCurve
+
+
+class TestFitting:
+    def test_log_likelihood_increases(self, crescent_unit):
+        model = TibshiraniCurve(n_nodes=15).fit(crescent_unit)
+        ll = np.asarray(model.log_likelihood_trace_)
+        assert ll.size >= 2
+        # EM with penalty: the trace should be (weakly) increasing up
+        # to small numerical slack.
+        assert np.all(np.diff(ll) > -1e-6 * np.abs(ll[:-1]).max())
+
+    def test_fits_crescent_skeleton(self):
+        cloud = sample_crescent(n=200, seed=21, width=0.02)
+        X = normalize_unit_cube(cloud.X)
+        model = TibshiraniCurve(
+            n_nodes=20, orient_alpha=np.array([1.0, 1.0])
+        ).fit(X)
+        assert model.explained_variance(X) > 0.95
+        rho = spearman_rho(model.score_samples(X), cloud.latent)
+        assert rho > 0.95
+
+    def test_variance_estimated_positive(self, crescent_unit):
+        model = TibshiraniCurve(n_nodes=15).fit(crescent_unit)
+        assert model.variance_ > 0.0
+        assert np.isfinite(model.variance_)
+
+    def test_straight_data_low_variance(self):
+        cloud = sample_ellipse(n=150, eccentricity=0.99, seed=2, noise=0.005)
+        X = normalize_unit_cube(cloud.X)
+        model = TibshiraniCurve(n_nodes=15).fit(X)
+        # Noise variance should be recovered at roughly the injected
+        # scale in normalised coordinates (well under the data spread).
+        assert model.variance_ < 0.01
+
+    def test_smoothness_penalty_straightens(self):
+        cloud = sample_crescent(n=200, seed=22, width=0.02)
+        X = normalize_unit_cube(cloud.X)
+        soft = TibshiraniCurve(n_nodes=20, smoothness=1e-4).fit(X)
+        stiff = TibshiraniCurve(n_nodes=20, smoothness=10.0).fit(X)
+        # Strong roughness penalty prevents the chain from bending into
+        # the crescent, costing explained variance.
+        assert stiff.explained_variance(X) < soft.explained_variance(X)
+
+    def test_responsibilities_are_distributions(self, crescent_unit):
+        model = TibshiraniCurve(n_nodes=12).fit(crescent_unit)
+        resp = model.posterior_responsibilities(crescent_unit)
+        assert resp.shape == (crescent_unit.shape[0], 12)
+        np.testing.assert_allclose(resp.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(resp >= 0.0)
+
+
+class TestInterface:
+    def test_unfitted_raises(self, crescent_unit):
+        with pytest.raises(NotFittedError):
+            TibshiraniCurve().score_samples(crescent_unit)
+        with pytest.raises(NotFittedError):
+            TibshiraniCurve().posterior_responsibilities(crescent_unit)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            TibshiraniCurve(n_nodes=2)
+        with pytest.raises(ConfigurationError):
+            TibshiraniCurve(smoothness=-1.0)
+
+    def test_capabilities(self):
+        model = TibshiraniCurve()
+        assert model.has_linear_capacity
+        assert model.has_nonlinear_capacity
+        assert model.parameter_size is None  # the paper's critique

@@ -1,0 +1,111 @@
+"""Tests for the scatterplot smoothers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, DataValidationError
+from repro.princurve.smoothers import (
+    SMOOTHERS,
+    kernel_smooth,
+    local_linear_smooth,
+    running_mean_smooth,
+)
+
+
+@pytest.fixture
+def linear_data(rng):
+    x = rng.uniform(0, 1, size=200)
+    y = 2.0 * x + 1.0
+    return x, y
+
+
+class TestKernelSmooth:
+    def test_recovers_constant(self, rng):
+        x = rng.uniform(size=100)
+        y = np.full(100, 3.0)
+        out = kernel_smooth(x, y, np.linspace(0, 1, 7))
+        np.testing.assert_allclose(out, 3.0, atol=1e-9)
+
+    def test_interpolates_smooth_trend(self, rng):
+        x = np.linspace(0, 1, 400)
+        y = np.sin(2 * np.pi * x)
+        grid = np.linspace(0.2, 0.8, 10)
+        out = kernel_smooth(x, y, grid, bandwidth=0.02)
+        np.testing.assert_allclose(out, np.sin(2 * np.pi * grid), atol=0.02)
+
+    def test_boundary_bias_exists(self, linear_data):
+        # Nadaraya-Watson is biased at the boundary for sloped data —
+        # this is exactly why local-linear is the default.
+        x, y = linear_data
+        at_zero = kernel_smooth(x, y, np.array([0.0]), bandwidth=0.2)[0]
+        assert at_zero > 1.0 + 0.05  # pulled up above the true value 1.0
+
+    def test_bad_bandwidth_raises(self):
+        with pytest.raises(ConfigurationError):
+            kernel_smooth(np.ones(3), np.ones(3), np.ones(2), bandwidth=0.0)
+
+
+class TestLocalLinearSmooth:
+    def test_exact_on_linear_data(self, linear_data):
+        x, y = linear_data
+        grid = np.linspace(0, 1, 11)
+        out = local_linear_smooth(x, y, grid, bandwidth=0.2)
+        np.testing.assert_allclose(out, 2.0 * grid + 1.0, atol=1e-6)
+
+    def test_no_boundary_bias_on_linear(self, linear_data):
+        x, y = linear_data
+        at_zero = local_linear_smooth(x, y, np.array([0.0]), bandwidth=0.2)[0]
+        assert at_zero == pytest.approx(1.0, abs=1e-6)
+
+    def test_handles_degenerate_design(self):
+        # All x identical: falls back to the mean.
+        x = np.full(10, 0.5)
+        y = np.arange(10.0)
+        out = local_linear_smooth(x, y, np.array([0.5]), bandwidth=0.1)
+        assert out[0] == pytest.approx(y.mean(), abs=1e-6)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(DataValidationError):
+            local_linear_smooth(np.ones(3), np.ones(4), np.ones(2))
+
+
+class TestRunningMeanSmooth:
+    def test_recovers_constant(self, rng):
+        x = rng.uniform(size=50)
+        y = np.full(50, -2.0)
+        out = running_mean_smooth(x, y, np.linspace(0, 1, 5))
+        np.testing.assert_allclose(out, -2.0)
+
+    def test_tracks_monotone_trend(self):
+        x = np.linspace(0, 1, 200)
+        y = x**2
+        grid = np.linspace(0.1, 0.9, 9)
+        out = running_mean_smooth(x, y, grid, span=0.1)
+        np.testing.assert_allclose(out, grid**2, atol=0.02)
+
+    def test_bad_span_raises(self):
+        with pytest.raises(ConfigurationError):
+            running_mean_smooth(np.ones(5), np.ones(5), np.ones(2), span=0.0)
+
+    def test_nan_raises(self):
+        x = np.array([0.0, np.nan])
+        with pytest.raises(DataValidationError):
+            running_mean_smooth(x, np.ones(2), np.ones(1))
+
+
+class TestRegistry:
+    def test_all_smoothers_registered(self):
+        assert set(SMOOTHERS) == {"kernel", "local_linear", "running_mean"}
+
+    def test_registry_callables_work(self, rng):
+        x = rng.uniform(size=60)
+        y = x.copy()
+        grid = np.linspace(0.2, 0.8, 5)
+        for name, smoother in SMOOTHERS.items():
+            if name == "running_mean":
+                out = smoother(x, y, grid, span=0.3)
+            else:
+                out = smoother(x, y, grid, bandwidth=0.15)
+            assert out.shape == (5,), name

@@ -1,0 +1,380 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These cover the library's load-bearing mathematical claims:
+
+* Proposition 1 — every RPC-feasible cubic is strictly monotone;
+* Bernstein identities across random degrees and parameters;
+* projection optimality — GSS never beats the exact root solver and
+  vice versa beyond tolerance;
+* order axioms of Eq.(1) (reflexive, antisymmetric, transitive);
+* normalisation round trips;
+* ranking-list / aggregation invariances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.rank_aggregation import attribute_rankings
+from repro.core.order import RankingOrder
+from repro.core.scoring import build_ranking_list
+from repro.data.normalize import MinMaxNormalizer
+from repro.geometry import (
+    BezierCurve,
+    bernstein_basis,
+    bernstein_to_power_matrix,
+    cubic_from_interior_points,
+    empirical_monotonicity_violations,
+    power_vector,
+)
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+unit_interior = st.floats(min_value=0.01, max_value=0.99)
+
+
+@st.composite
+def direction_vectors(draw, min_d=1, max_d=5):
+    d = draw(st.integers(min_value=min_d, max_value=max_d))
+    return np.asarray(
+        draw(st.lists(st.sampled_from([-1.0, 1.0]), min_size=d, max_size=d))
+    )
+
+
+@st.composite
+def feasible_cubics(draw):
+    """A random RPC-feasible cubic (alpha plus interior points)."""
+    alpha = draw(direction_vectors(min_d=2, max_d=4))
+    d = alpha.size
+    p1 = np.asarray(draw(st.lists(unit_interior, min_size=d, max_size=d)))
+    p2 = np.asarray(draw(st.lists(unit_interior, min_size=d, max_size=d)))
+    return alpha, cubic_from_interior_points(alpha, p1, p2)
+
+
+@st.composite
+def data_matrices(draw, min_n=2, max_n=15, min_d=1, max_d=4):
+    n = draw(st.integers(min_value=min_n, max_value=max_n))
+    d = draw(st.integers(min_value=min_d, max_value=max_d))
+    return draw(
+        arrays(
+            dtype=np.float64,
+            shape=(n, d),
+            elements=finite_floats,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Proposition 1
+# ----------------------------------------------------------------------
+class TestPropositionOneProperty:
+    @given(feasible_cubics())
+    @settings(max_examples=60, deadline=None)
+    def test_feasible_cubic_strictly_monotone(self, alpha_curve):
+        alpha, curve = alpha_curve
+        report = empirical_monotonicity_violations(curve, alpha, n_samples=256)
+        assert report.is_monotone
+
+    @given(feasible_cubics())
+    @settings(max_examples=30, deadline=None)
+    def test_feasible_cubic_stays_in_unit_cube(self, alpha_curve):
+        _alpha, curve = alpha_curve
+        pts = curve.evaluate(np.linspace(0, 1, 64))
+        assert pts.min() >= -1e-12 and pts.max() <= 1 + 1e-12
+
+
+# ----------------------------------------------------------------------
+# Bernstein identities
+# ----------------------------------------------------------------------
+class TestBernsteinProperties:
+    @given(
+        st.integers(min_value=0, max_value=8),
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_partition_of_unity(self, k, svals):
+        s = np.asarray(svals)
+        basis = bernstein_basis(k, s)
+        np.testing.assert_allclose(basis.sum(axis=0), 1.0, atol=1e-10)
+        assert np.all(basis >= -1e-15)
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_power_conversion_consistency(self, k, s):
+        rng = np.random.default_rng(abs(hash((k, round(s, 6)))) % 2**32)
+        P = rng.normal(size=(2, k + 1))
+        M = bernstein_to_power_matrix(k)
+        sv = np.asarray([s])
+        via_power = P @ M @ power_vector(sv, k)
+        via_basis = P @ bernstein_basis(k, sv)
+        np.testing.assert_allclose(via_power, via_basis, atol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Bezier geometric invariances
+# ----------------------------------------------------------------------
+class TestBezierProperties:
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=(2, 4),
+            elements=st.floats(min_value=-5, max_value=5, allow_nan=False),
+        ),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_de_casteljau_matches_bernstein(self, P, s):
+        curve = BezierCurve(P)
+        direct = curve.evaluate(np.array([s]))[:, 0]
+        stable = curve.evaluate_de_casteljau(s)
+        np.testing.assert_allclose(direct, stable, atol=1e-9)
+
+    @given(
+        arrays(
+            dtype=np.float64,
+            shape=(3, 4),
+            elements=st.floats(min_value=-5, max_value=5, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_elevation_preserves_curve(self, P):
+        curve = BezierCurve(P)
+        s = np.linspace(0, 1, 17)
+        np.testing.assert_allclose(
+            curve.elevate_degree().evaluate(s),
+            curve.evaluate(s),
+            atol=1e-9,
+        )
+
+    @given(feasible_cubics())
+    @settings(max_examples=25, deadline=None)
+    def test_affine_action_on_control_points(self, alpha_curve):
+        """Eq.(16): scaling/translating control points scales the curve."""
+        _alpha, curve = alpha_curve
+        scales = np.array([2.0, 0.5] + [3.0] * (curve.dimension - 2))[
+            : curve.dimension
+        ]
+        shift = np.linspace(-1, 1, curve.dimension)
+        P2 = curve.control_points * scales[:, None] + shift[:, None]
+        moved = BezierCurve(P2)
+        s = np.linspace(0, 1, 9)
+        np.testing.assert_allclose(
+            moved.evaluate(s),
+            curve.evaluate(s) * scales[:, None] + shift[:, None],
+            atol=1e-9,
+        )
+
+
+# ----------------------------------------------------------------------
+# Projection optimality
+# ----------------------------------------------------------------------
+class TestProjectionProperties:
+    @given(
+        feasible_cubics(),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_gss_matches_exact_roots(self, alpha_curve, seed):
+        _alpha, curve = alpha_curve
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(-0.2, 1.2, size=(8, curve.dimension))
+        s_gss = curve.project(X, method="gss", n_grid=48)
+        s_roots = curve.project(X, method="roots")
+        d_gss = np.sum((X - curve.evaluate(s_gss).T) ** 2, axis=1)
+        d_roots = np.sum((X - curve.evaluate(s_roots).T) ** 2, axis=1)
+        np.testing.assert_allclose(d_gss, d_roots, atol=1e-5)
+
+
+# ----------------------------------------------------------------------
+# Order axioms
+# ----------------------------------------------------------------------
+class TestOrderProperties:
+    @given(direction_vectors(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_axioms(self, alpha, data):
+        order = RankingOrder(alpha=alpha)
+        d = alpha.size
+        point = st.lists(finite_floats, min_size=d, max_size=d).map(np.asarray)
+        x = data.draw(point)
+        y = data.draw(point)
+        z = data.draw(point)
+        # Reflexivity.
+        assert order.precedes(x, x)
+        # Antisymmetry.
+        if order.precedes(x, y) and order.precedes(y, x):
+            np.testing.assert_array_equal(x, y)
+        # Transitivity.
+        if order.precedes(x, y) and order.precedes(y, z):
+            assert order.precedes(x, z)
+
+    @given(direction_vectors(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_linear_scorer_is_monotone(self, alpha, data):
+        """Any positive-weight signed linear scorer respects the order."""
+        order = RankingOrder(alpha=alpha)
+        d = alpha.size
+        weights = np.asarray(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=0.1, max_value=5.0),
+                    min_size=d,
+                    max_size=d,
+                )
+            )
+        )
+        point = st.lists(finite_floats, min_size=d, max_size=d).map(np.asarray)
+        x = data.draw(point)
+        y = data.draw(point)
+        if order.precedes(x, y):
+            sx = float((weights * alpha) @ x)
+            sy = float((weights * alpha) @ y)
+            assert sx <= sy + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Normalisation
+# ----------------------------------------------------------------------
+class TestNormalizationProperties:
+    @given(data_matrices(min_n=2))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip(self, X):
+        norm = MinMaxNormalizer().fit(X)
+        back = norm.inverse_transform(norm.transform(X))
+        np.testing.assert_allclose(back, X, atol=1e-7)
+
+    @given(data_matrices(min_n=2))
+    @settings(max_examples=60, deadline=None)
+    def test_range_and_order(self, X):
+        U = MinMaxNormalizer().fit_transform(X)
+        assert U.min() >= -1e-12 and U.max() <= 1 + 1e-12
+        # Weak monotonicity per column: x_i < x_k implies u_i <= u_k.
+        # (Strict order can collapse to a tie when the affine map
+        # rounds two nearly-equal floats together; that is acceptable.)
+        for j in range(X.shape[1]):
+            xi = X[:, j][:, None]
+            xk = X[:, j][None, :]
+            ui = U[:, j][:, None]
+            uk = U[:, j][None, :]
+            assert not np.any((xi < xk) & (ui > uk))
+
+
+# ----------------------------------------------------------------------
+# Ranking lists and aggregation
+# ----------------------------------------------------------------------
+class TestRankingListProperties:
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=30).map(np.asarray)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_positions_are_a_permutation(self, scores):
+        ranking = build_ranking_list(scores)
+        np.testing.assert_array_equal(
+            np.sort(ranking.positions), np.arange(1, scores.size + 1)
+        )
+        # order and positions are inverse descriptions of each other.
+        np.testing.assert_array_equal(
+            ranking.positions[ranking.order], np.arange(1, scores.size + 1)
+        )
+
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=2, max_value=4),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rank_aggregation_invariant_to_monotone_rescale(self, n, d, data):
+        """Positions depend only on per-attribute orders, so strictly
+        increasing transforms of the attributes change nothing.  Integer
+        observations keep the transform exactly order-preserving in
+        floating point."""
+        X = np.asarray(
+            data.draw(
+                st.lists(
+                    st.lists(
+                        st.integers(min_value=-1000, max_value=1000),
+                        min_size=d,
+                        max_size=d,
+                    ),
+                    min_size=n,
+                    max_size=n,
+                )
+            ),
+            dtype=float,
+        )
+        alpha = np.ones(d)
+        base = attribute_rankings(X, alpha)
+        transformed = 2.0 * X + 10.0  # exactly order-preserving on ints
+        again = attribute_rankings(transformed, alpha)
+        np.testing.assert_allclose(base, again)
+
+
+# ----------------------------------------------------------------------
+# CSV round trips
+# ----------------------------------------------------------------------
+class TestCsvRoundTripProperties:
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=4),
+        st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_save_load_roundtrip(self, n, d, data):
+        import tempfile
+        import pathlib
+
+        from repro.data.loaders import load_csv, save_csv
+
+        values = np.asarray(
+            data.draw(
+                st.lists(
+                    st.lists(finite_floats, min_size=d, max_size=d),
+                    min_size=n,
+                    max_size=n,
+                )
+            ),
+            dtype=float,
+        )
+        labels = [f"row-{i}" for i in range(n)]
+        names = [f"attr{j}" for j in range(d)]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "t.csv"
+            save_csv(path, labels, values, names)
+            table = load_csv(path)
+        assert table.labels == labels
+        assert table.attribute_names == names
+        np.testing.assert_allclose(table.X, values, rtol=1e-12, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Masked projection consistency
+# ----------------------------------------------------------------------
+class TestMaskedProjectionProperties:
+    @given(feasible_cubics(), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_full_mask_equals_plain_projection(self, alpha_curve, seed):
+        from repro.data.missing import masked_projection
+
+        _alpha, curve = alpha_curve
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(size=(6, curve.dimension))
+        observed = np.ones_like(X, dtype=bool)
+        s_masked = masked_projection(curve, X, observed)
+        s_plain = curve.project(X)
+        d_masked = np.sum((X - curve.evaluate(s_masked).T) ** 2, axis=1)
+        d_plain = np.sum((X - curve.evaluate(s_plain).T) ** 2, axis=1)
+        np.testing.assert_allclose(d_masked, d_plain, atol=1e-6)

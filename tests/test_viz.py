@@ -1,0 +1,114 @@
+"""Tests for ASCII rendering and the Fig. 7/8 projection panels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, DataValidationError
+from repro.geometry import cubic_from_interior_points
+from repro.viz import (
+    ascii_bars,
+    ascii_scatter,
+    pairwise_panels,
+    render_panels,
+)
+
+
+class TestAsciiScatter:
+    def test_basic_grid(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0]])
+        out = ascii_scatter(points, width=10, height=5)
+        lines = out.splitlines()
+        assert len(lines) == 7  # border + 5 rows + border
+        assert lines[0].startswith("+")
+        # Corner points must appear: bottom-left and top-right.
+        assert lines[-2][1] == "."  # bottom-left interior cell
+        assert lines[1][10] == "."
+
+    def test_curve_overlay_wins(self):
+        points = np.array([[0.5, 0.5]])
+        curve = np.array([[0.5, 0.5]])
+        out = ascii_scatter(points, curve=curve, width=9, height=5)
+        assert "#" in out
+        assert "." not in out.replace("...", "")  # the curve overwrote it
+
+    def test_title_included(self):
+        out = ascii_scatter(np.array([[0.0, 0.0]]), title="hello")
+        assert out.splitlines()[0] == "hello"
+
+    def test_degenerate_extent_safe(self):
+        # All points identical: no division by zero.
+        out = ascii_scatter(np.array([[2.0, 2.0], [2.0, 2.0]]))
+        assert "." in out
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(DataValidationError):
+            ascii_scatter(np.ones((3, 3)))
+
+    def test_tiny_grid_raises(self):
+        with pytest.raises(ConfigurationError):
+            ascii_scatter(np.ones((2, 2)), width=2, height=2)
+
+
+class TestAsciiBars:
+    def test_bars_scale_with_values(self):
+        out = ascii_bars(["a", "b"], np.array([1.0, 2.0]), width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_label_mismatch_raises(self):
+        with pytest.raises(DataValidationError):
+            ascii_bars(["a"], np.array([1.0, 2.0]))
+
+    def test_zero_values_no_crash(self):
+        out = ascii_bars(["a"], np.array([0.0]))
+        assert "0.0000" in out
+
+
+class TestPairwisePanels:
+    @pytest.fixture
+    def curve3d(self):
+        return cubic_from_interior_points(
+            [1, 1, -1],
+            p1=[0.2, 0.3, 0.7],
+            p2=[0.7, 0.8, 0.3],
+        )
+
+    def test_panel_count(self, curve3d, rng):
+        X = rng.uniform(size=(30, 3))
+        panels = pairwise_panels(X, curve3d)
+        assert len(panels) == 3  # C(3, 2)
+
+    def test_panel_contents(self, curve3d, rng):
+        X = rng.uniform(size=(30, 3))
+        panels = pairwise_panels(
+            X, curve3d, attribute_names=["GDP", "LEB", "IMR"]
+        )
+        first = panels[0]
+        assert first.names == ("GDP", "LEB")
+        assert first.data.shape == (30, 2)
+        assert first.curve.shape == (200, 2)
+
+    def test_projected_curves_monotone_per_alpha(self, curve3d, rng):
+        X = rng.uniform(size=(10, 3))
+        alpha = np.array([1.0, 1.0, -1.0])
+        for panel in pairwise_panels(X, curve3d):
+            assert panel.curve_is_monotone(alpha[panel.i], alpha[panel.j])
+
+    def test_wrong_width_raises(self, curve3d, rng):
+        with pytest.raises(DataValidationError):
+            pairwise_panels(rng.uniform(size=(5, 2)), curve3d)
+
+    def test_name_count_mismatch_raises(self, curve3d, rng):
+        with pytest.raises(DataValidationError):
+            pairwise_panels(
+                rng.uniform(size=(5, 3)), curve3d, attribute_names=["a"]
+            )
+
+    def test_render_panels_text(self, curve3d, rng):
+        X = rng.uniform(size=(15, 3))
+        text = render_panels(pairwise_panels(X, curve3d))
+        assert text.count("vs") == 3
+        assert "#" in text
