@@ -25,8 +25,9 @@ from repro.core import (
     order_from_sets,
 )
 from repro.geometry import BezierCurve
+from repro.serving import load_model, save_model, score_batch
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BezierCurve",
@@ -36,6 +37,9 @@ __all__ = [
     "RankingPrincipalCurve",
     "assess_ranking_model",
     "build_ranking_list",
+    "load_model",
     "order_from_sets",
+    "save_model",
+    "score_batch",
     "__version__",
 ]

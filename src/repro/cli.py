@@ -7,10 +7,19 @@ Usage::
     python -m repro demo countries        # run a bundled experiment
     python -m repro demo journals
 
+    # fit-once / serve-many workflow
+    python -m repro save data.csv --alpha "+GDP,+LEB,-IMR,-TB" \
+        --model model.json
+    python -m repro load model.json       # inspect a saved model
+    python -m repro score model.json fresh.csv --output ranking.csv
+
 The ``rank`` command loads a headered CSV (first column = labels by
 default), fits a Ranking Principal Curve with the given attribute
 directions, prints the top of the ranking list and optionally writes
-the full list to a CSV.
+the full list to a CSV.  ``save`` fits the same way but persists the
+fitted model (JSON or ``.npz`` by suffix) instead of discarding it;
+``score`` reloads such a model in a fresh process and scores new rows
+with chunked, bounded-memory batch projection — no refitting.
 """
 
 from __future__ import annotations
@@ -22,9 +31,12 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.exceptions import ReproError
+from repro.core.exceptions import DataValidationError, ReproError
 from repro.core.rpc import RankingPrincipalCurve
+from repro.core.scoring import build_ranking_list
 from repro.data.loaders import load_csv, parse_alpha_spec, save_ranking_csv
+from repro.serving.batch import score_batch
+from repro.serving.persistence import check_model_path, load_model, save_model
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,7 +82,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="which bundled dataset to rank",
     )
     demo.add_argument("--top", type=int, default=10)
+
+    save = sub.add_parser(
+        "save", help="fit a model on a CSV and persist it"
+    )
+    save.add_argument("csv_path", help="input CSV with a header row")
+    save.add_argument(
+        "--alpha",
+        required=True,
+        help="attribute directions, e.g. '+GDP,+LEB,-IMR,-TB'",
+    )
+    save.add_argument(
+        "--model",
+        required=True,
+        help="destination model file (.json or .npz)",
+    )
+    save.add_argument("--label-column", default=None)
+    save.add_argument("--degree", type=int, default=3)
+    save.add_argument("--restarts", type=int, default=4)
+    save.add_argument("--seed", type=int, default=0)
+    save.add_argument(
+        "--warm-start",
+        action="store_true",
+        help="use warm-started projection during fitting",
+    )
+
+    load = sub.add_parser("load", help="inspect a saved model")
+    load.add_argument("model_path", help="model file written by 'save'")
+
+    score = sub.add_parser(
+        "score", help="score a CSV with a saved model (no refitting)"
+    )
+    score.add_argument("model_path", help="model file written by 'save'")
+    score.add_argument("csv_path", help="CSV of new objects to score")
+    score.add_argument("--label-column", default=None)
+    score.add_argument(
+        "--output", default=None, help="write the full ranking CSV here"
+    )
+    score.add_argument(
+        "--top", type=int, default=10, help="rows to print (default 10)"
+    )
+    score.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="rows per projection chunk (default 4096)",
+    )
     return parser
+
+
+def _print_ranking(ranking, top: int, output: Optional[str]) -> None:
+    """Shared ranking display of the ``rank`` and ``score`` commands."""
+    print(f"{'pos':>4}  {'score':>8}  label")
+    for label, score in ranking.top(top):
+        print(f"{ranking.position_of(label):>4}  {score:>8.4f}  {label}")
+    if output:
+        save_ranking_csv(output, ranking)
+        print(f"full ranking written to {output}")
 
 
 def _run_rank(args: argparse.Namespace) -> int:
@@ -89,12 +157,7 @@ def _run_rank(args: argparse.Namespace) -> int:
     print(f"ranked {len(table.labels)} objects on "
           f"{len(table.attribute_names)} attributes "
           f"(explained variance {model.explained_variance(table.X):.3f})")
-    print(f"{'pos':>4}  {'score':>8}  label")
-    for label, score in ranking.top(args.top):
-        print(f"{ranking.position_of(label):>4}  {score:>8.4f}  {label}")
-    if args.output:
-        save_ranking_csv(args.output, ranking)
-        print(f"full ranking written to {args.output}")
+    _print_ranking(ranking, args.top, args.output)
     return 0
 
 
@@ -123,14 +186,88 @@ def _run_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_save(args: argparse.Namespace) -> int:
+    # Validate the destination format before paying for the fit.
+    check_model_path(args.model)
+    table = load_csv(args.csv_path, label_column=args.label_column)
+    alpha = parse_alpha_spec(args.alpha, table.attribute_names)
+    model = RankingPrincipalCurve(
+        alpha=alpha,
+        degree=args.degree,
+        n_restarts=args.restarts,
+        random_state=args.seed,
+        warm_start=args.warm_start,
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        model.fit(table.X)
+    path = save_model(model, args.model, feature_names=table.attribute_names)
+    print(
+        f"fitted on {table.X.shape[0]} objects x "
+        f"{table.X.shape[1]} attributes "
+        f"(final objective {model.trace_.final_objective:.6f}, "
+        f"{model.trace_.n_iterations} iterations)"
+    )
+    print(f"model written to {path}")
+    return 0
+
+
+def _run_load(args: argparse.Namespace) -> int:
+    model = load_model(args.model_path)
+    print(f"model: {model!r}")
+    if model.feature_names_ is not None:
+        print(f"attributes: {', '.join(model.feature_names_)}")
+    if not model.is_fitted:
+        print("state: not fitted")
+        return 0
+    trace = model.trace_
+    print(
+        f"state: fitted ({trace.n_iterations} iterations, "
+        f"final objective {trace.final_objective:.6f}, "
+        f"converged={trace.converged})"
+    )
+    print("control points (normalised coordinates):")
+    for r, column in enumerate(model.control_points_.T):
+        coords = ", ".join(f"{v:.4f}" for v in column)
+        print(f"  p{r} = ({coords})")
+    return 0
+
+
+def _run_score(args: argparse.Namespace) -> int:
+    model = load_model(args.model_path)
+    table = load_csv(
+        args.csv_path,
+        label_column=args.label_column,
+        attribute_columns=model.feature_names_,
+    )
+    if table.X.shape[1] != model.alpha.size:
+        raise DataValidationError(
+            f"model expects {model.alpha.size} attributes but "
+            f"{args.csv_path} provides {table.X.shape[1]}"
+        )
+    scores = score_batch(model, table.X, chunk_size=args.chunk_size)
+    ranking = build_ranking_list(scores, labels=table.labels)
+    print(
+        f"scored {table.X.shape[0]} objects with saved model "
+        f"{args.model_path}"
+    )
+    _print_ranking(ranking, args.top, args.output)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    handlers = {
+        "rank": _run_rank,
+        "demo": _run_demo,
+        "save": _run_save,
+        "load": _run_load,
+        "score": _run_score,
+    }
     try:
-        if args.command == "rank":
-            return _run_rank(args)
-        return _run_demo(args)
+        return handlers[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

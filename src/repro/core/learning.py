@@ -33,7 +33,11 @@ from typing import Literal, Optional
 import numpy as np
 
 from repro.core.exceptions import ConfigurationError, ConvergenceWarning
-from repro.core.projection import ProjectionMethod, project_points
+from repro.core.projection import (
+    ProjectionMethod,
+    project_points,
+    warm_bracket_width,
+)
 from repro.geometry.bernstein import bernstein_to_power_matrix, power_vector
 from repro.geometry.bezier import BezierCurve
 from repro.geometry.cubic import pinned_endpoints, validate_direction_vector
@@ -54,8 +58,10 @@ class LearningTrace:
         ``J(P_t, s_t)`` after each completed iteration (including the
         initial configuration at index 0).
     step_sizes:
-        The Richardson ``gamma_t`` used at each control-point update
-        (empty for the pseudo-inverse ablation).
+        The Richardson ``gamma_t`` used at each *accepted* control-point
+        update, so ``len(step_sizes) == n_iterations`` (empty for the
+        pseudo-inverse ablation).  A gamma belonging to an iteration
+        rejected by the ΔJ < 0 early stop is not recorded.
     n_iterations:
         Number of completed alternations.
     converged:
@@ -210,6 +216,7 @@ def fit_rpc_curve(
     enforce_constraints: bool = True,
     margin: float = 1e-6,
     sample_weight: Optional[np.ndarray] = None,
+    warm_start: bool = False,
 ) -> FitResult:
     """Run Algorithm 1 on normalised data ``X in [0, 1]^{n x d}``.
 
@@ -261,6 +268,16 @@ def fit_rpc_curve(
         (each ``s_i`` minimises its own residual regardless of
         ``w_i``).  Useful for emphasising trusted observations or
         de-weighting suspected outliers.
+    warm_start:
+        Reuse each iteration's scores as brackets for the next
+        projection step (see :func:`repro.core.projection.project_points`),
+        replacing the full per-iteration grid scan with narrow
+        bracketed solves plus a sparse safeguard, gated on the curve
+        having moved less than one grid cell that iteration.  Off by
+        default; both settings converge to the same optimum (final
+        objectives agree to ~1e-10 on the bundled datasets, asserted
+        in the test suite) but the iteration-by-iteration score noise
+        differs at solver-tolerance level.
 
     Returns
     -------
@@ -326,14 +343,31 @@ def fit_rpc_curve(
         curve_new = BezierCurve(P_new)
 
         # --- projection step -----------------------------------------
-        s_new = project_points(curve_new, X, method=projection, n_grid=n_grid)
+        # Warm brackets are only trustworthy when the curve moved by
+        # less than about one bracketing-grid cell this iteration (the
+        # early iterations take large steps and can carry an optimum
+        # across basins); otherwise fall back to the cold grid scan.
+        curve_moved = float(np.max(np.abs(P_new - P)))
+        use_warm = warm_start and curve_moved <= warm_bracket_width(n_grid)
+        s_new = project_points(
+            curve_new,
+            X,
+            method=projection,
+            n_grid=n_grid,
+            s0=s if use_warm else None,
+        )
         J_new = objective_value(X, curve_new, s_new, sample_weight=weights)
 
         delta = J - J_new
         if delta < 0.0:
             # Step 6 of Algorithm 1: J increased (possible because the
             # constraint clipping perturbs the unconstrained descent
-            # direction); keep the previous iterate and stop.
+            # direction); keep the previous iterate and stop.  The
+            # Richardson gamma recorded above belongs to the rejected
+            # iteration, so drop it to keep len(step_sizes) equal to
+            # n_iterations.
+            if update == "richardson" and trace.step_sizes:
+                trace.step_sizes.pop()
             trace.stopped_on_increase = True
             break
 

@@ -67,6 +67,10 @@ class RankingPrincipalCurve:
         ``random_state`` so runs are reproducible.
     random_state:
         Seed or generator for initial control-point sampling.
+    warm_start:
+        Reuse each iteration's projection scores as brackets for the
+        next projection step, skipping the full per-iteration grid
+        scan (see :func:`repro.core.projection.project_points`).
 
     Examples
     --------
@@ -96,6 +100,7 @@ class RankingPrincipalCurve:
         init: Literal["random", "linear"] = "random",
         random_state: Optional[int | np.random.Generator] = None,
         enforce_constraints: bool = True,
+        warm_start: bool = False,
     ):
         self.alpha = validate_direction_vector(np.asarray(alpha, dtype=float))
         if degree < 1:
@@ -114,7 +119,10 @@ class RankingPrincipalCurve:
         self.init = init
         self.random_state = random_state
         self.enforce_constraints = bool(enforce_constraints)
+        self.warm_start = bool(warm_start)
 
+        #: Optional attribute names (set by persistence/CLI round-trips).
+        self.feature_names_: Optional[list[str]] = None
         self._normalizer: Optional[MinMaxNormalizer] = None
         self._fit_result: Optional[FitResult] = None
 
@@ -183,6 +191,7 @@ class RankingPrincipalCurve:
                 rng=child,
                 enforce_constraints=self.enforce_constraints,
                 sample_weight=sample_weight,
+                warm_start=self.warm_start,
             )
             if best is None or result.trace.final_objective < best.trace.final_objective:
                 best = result
@@ -219,6 +228,21 @@ class RankingPrincipalCurve:
             result.curve, X_unit, method=self.projection, n_grid=self.n_grid
         )
 
+    def score_batch(
+        self, X: np.ndarray, chunk_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Chunked, bounded-memory scoring of arbitrarily large inputs.
+
+        Equivalent to :meth:`score_samples` but processes ``X`` in
+        chunks of ``chunk_size`` rows so peak memory stays bounded by
+        the chunk (the projection step materialises an
+        ``(n, n_grid)`` distance matrix).  See
+        :func:`repro.serving.batch.score_batch` for details.
+        """
+        from repro.serving.batch import score_batch as _score_batch
+
+        return _score_batch(self, X, chunk_size=chunk_size)
+
     def rank(
         self, X: np.ndarray, labels: Optional[Sequence[str]] = None
     ) -> RankingList:
@@ -240,6 +264,11 @@ class RankingPrincipalCurve:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the estimator carries a fitted curve (fit or load)."""
+        return self._fit_result is not None
+
     @property
     def curve_(self) -> BezierCurve:
         """The learned curve in normalised ``[0, 1]^d`` coordinates."""
@@ -304,6 +333,114 @@ class RankingPrincipalCurve:
         """Assert the fitted curve satisfies the Proposition 1 constraints."""
         result = self._require_fit()
         check_rpc_constraints(result.curve.control_points, self.alpha)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot: hyperparameters + fitted state.
+
+        Floats survive a JSON round-trip exactly (``repr`` is
+        shortest-round-trip), so ``from_dict(to_dict())`` scores inputs
+        bit-identically to the live model.  A ``random_state`` holding a
+        live :class:`numpy.random.Generator` is dropped (recorded as
+        ``None``) — refitting a reloaded model then needs a fresh seed.
+        """
+        payload: dict = {
+            "type": "RankingPrincipalCurve",
+            "format_version": 1,
+            "hyperparameters": {
+                "alpha": self.alpha.tolist(),
+                "degree": self.degree,
+                "projection": self.projection,
+                "update": self.update,
+                "precondition": self.precondition,
+                "xi": self.xi,
+                "max_iter": self.max_iter,
+                "inner_updates": self.inner_updates,
+                "n_grid": self.n_grid,
+                "n_restarts": self.n_restarts,
+                "init": self.init,
+                "random_state": (
+                    int(self.random_state)
+                    if isinstance(self.random_state, (int, np.integer))
+                    else None
+                ),
+                "enforce_constraints": self.enforce_constraints,
+                "warm_start": self.warm_start,
+            },
+            "feature_names": self.feature_names_,
+            "fitted": None,
+        }
+        if self._fit_result is not None:
+            assert self._normalizer is not None
+            trace = self._fit_result.trace
+            payload["fitted"] = {
+                "curve": self._fit_result.curve.to_dict(),
+                "normalizer": self._normalizer.to_dict(),
+                "training_scores": self._fit_result.scores.tolist(),
+                "trace": {
+                    "objectives": [float(v) for v in trace.objectives],
+                    "step_sizes": [float(v) for v in trace.step_sizes],
+                    "n_iterations": int(trace.n_iterations),
+                    "converged": bool(trace.converged),
+                    "stopped_on_increase": bool(trace.stopped_on_increase),
+                },
+            }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RankingPrincipalCurve":
+        """Rebuild an estimator (fitted or not) from :meth:`to_dict`."""
+        if payload.get("type") != "RankingPrincipalCurve":
+            raise ConfigurationError(
+                "payload is not a RankingPrincipalCurve dict: "
+                f"type={payload.get('type')!r}"
+            )
+        version = payload.get("format_version")
+        if version != 1:
+            raise ConfigurationError(
+                f"unsupported model format version {version!r}; this "
+                "build reads format_version 1"
+            )
+        hp = payload["hyperparameters"]
+        model = cls(
+            alpha=hp["alpha"],
+            degree=hp["degree"],
+            projection=hp["projection"],
+            update=hp["update"],
+            precondition=hp["precondition"],
+            xi=hp["xi"],
+            max_iter=hp["max_iter"],
+            inner_updates=hp["inner_updates"],
+            n_grid=hp["n_grid"],
+            n_restarts=hp["n_restarts"],
+            init=hp["init"],
+            random_state=hp["random_state"],
+            enforce_constraints=hp["enforce_constraints"],
+            warm_start=hp.get("warm_start", False),
+        )
+        names = payload.get("feature_names")
+        model.feature_names_ = list(names) if names is not None else None
+        fitted = payload.get("fitted")
+        if fitted is not None:
+            trace_d = fitted["trace"]
+            trace = LearningTrace(
+                objectives=list(trace_d["objectives"]),
+                step_sizes=list(trace_d["step_sizes"]),
+                n_iterations=int(trace_d["n_iterations"]),
+                converged=bool(trace_d["converged"]),
+                stopped_on_increase=bool(trace_d["stopped_on_increase"]),
+            )
+            model._fit_result = FitResult(
+                curve=BezierCurve.from_dict(fitted["curve"]),
+                scores=np.asarray(fitted["training_scores"], dtype=float),
+                trace=trace,
+            )
+            model._normalizer = MinMaxNormalizer.from_dict(
+                fitted["normalizer"]
+            )
+        return model
 
     # ------------------------------------------------------------------
     # Internals

@@ -92,6 +92,36 @@ class MinMaxNormalizer:
         return out
 
     # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot of the normalisation parameters."""
+        return {
+            "type": "MinMaxNormalizer",
+            "clip": self.clip,
+            "data_min": (
+                self.data_min_.tolist() if self.data_min_ is not None else None
+            ),
+            "data_max": (
+                self.data_max_.tolist() if self.data_max_ is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MinMaxNormalizer":
+        """Rebuild a (possibly fitted) normaliser from :meth:`to_dict`."""
+        if payload.get("type") != "MinMaxNormalizer":
+            raise DataValidationError(
+                "payload is not a MinMaxNormalizer dict: "
+                f"type={payload.get('type')!r}"
+            )
+        normalizer = cls(clip=payload.get("clip", False))
+        if payload.get("data_min") is not None:
+            normalizer.data_min_ = np.asarray(payload["data_min"], dtype=float)
+            normalizer.data_max_ = np.asarray(payload["data_max"], dtype=float)
+        return normalizer
+
+    # ------------------------------------------------------------------
     def _require_fit(self) -> tuple[np.ndarray, np.ndarray]:
         if self.data_min_ is None or self.data_max_ is None:
             raise NotFittedError("MinMaxNormalizer")

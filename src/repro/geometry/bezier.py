@@ -24,7 +24,7 @@ from repro.geometry.bernstein import (
     power_vector,
 )
 from repro.linalg.golden_section import golden_section_search_batch
-from repro.linalg.polyroots import minimize_polynomial_on_interval
+from repro.linalg.polyroots import batched_minimize_on_interval
 
 
 class BezierCurve:
@@ -271,22 +271,64 @@ class BezierCurve:
 
     def _project_roots(self, X: np.ndarray) -> np.ndarray:
         # Squared distance ‖x - C z‖² is a polynomial of degree 2k in s;
-        # minimise it exactly per point via stationary-point enumeration.
+        # minimise it exactly via stationary-point enumeration.  The
+        # coefficient rows for all n points are assembled at once and the
+        # stationary quintics solved with a single stacked
+        # companion-matrix eigenvalue call (no Python-level point loop).
+        coeffs = self.distance_polynomials(X)
+        return batched_minimize_on_interval(coeffs, 0.0, 1.0)
+
+    def distance_polynomials(self, X: np.ndarray) -> np.ndarray:
+        """Ascending coefficients of ``s -> ‖x_i − f(s)‖²`` for each row.
+
+        Returns shape ``(n, 2k + 1)``: row ``i`` is the degree-``2k``
+        squared-distance polynomial of point ``x_i``.  Shared between the
+        batched ``"roots"`` projection and diagnostic tooling.
+        """
+        X = np.asarray(X, dtype=float)
         C = self.power_coefficients()  # (d, k+1)
         k = self.degree
-        # Coefficients of g(s) = f(s)·f(s) (degree 2k) independent of x.
+        # Coefficients of f(s)·f(s) (degree 2k), independent of x.
         quad_coeffs = np.zeros(2 * k + 1)
         for a in range(k + 1):
             for b in range(k + 1):
                 quad_coeffs[a + b] += float(C[:, a] @ C[:, b])
-        out = np.empty(X.shape[0])
-        for i, x in enumerate(X):
-            lin = -2.0 * (x @ C)  # degree-k coefficients of -2 x·f(s)
-            coeffs = quad_coeffs.copy()
-            coeffs[: k + 1] += lin
-            coeffs[0] += float(x @ x)
-            out[i] = minimize_polynomial_on_interval(coeffs, 0.0, 1.0)
-        return out
+        coeffs = np.tile(quad_coeffs, (X.shape[0], 1))
+        coeffs[:, : k + 1] += -2.0 * (X @ C)  # -2 x·f(s), degree k
+        coeffs[:, 0] += np.sum(X**2, axis=1)
+        return coeffs
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation of the curve.
+
+        Python ``repr`` round-trips floats exactly, so a
+        ``to_dict`` → ``json`` → ``from_dict`` cycle reproduces the
+        control points bit-for-bit.
+        """
+        return {
+            "type": "BezierCurve",
+            "degree": self.degree,
+            "dimension": self.dimension,
+            "control_points": self._P.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BezierCurve":
+        """Rebuild a curve from :meth:`to_dict` output."""
+        if payload.get("type") != "BezierCurve":
+            raise ConfigurationError(
+                f"payload is not a BezierCurve dict: type={payload.get('type')!r}"
+            )
+        curve = cls(np.asarray(payload["control_points"], dtype=float))
+        if curve.degree != payload.get("degree", curve.degree):
+            raise ConfigurationError(
+                f"control points imply degree {curve.degree} but payload "
+                f"declares {payload['degree']}"
+            )
+        return curve
 
     def projection_residuals(self, X: np.ndarray, s: np.ndarray) -> np.ndarray:
         """Residual vectors ``x_i - f(s_i)``, shape ``(n, d)``."""

@@ -21,10 +21,13 @@ from repro.linalg.golden_section import (
     golden_section_search_batch,
 )
 from repro.linalg.polyroots import (
+    batched_minimize_on_interval,
+    batched_real_roots,
     minimize_polynomial_on_interval,
     newton_polish,
     polynomial_derivative,
     polyval_ascending,
+    polyval_ascending_batch,
     real_roots,
     real_roots_in_interval,
 )
@@ -41,6 +44,8 @@ __all__ = [
     "INV_PHI",
     "RichardsonResult",
     "SolveDiagnostics",
+    "batched_minimize_on_interval",
+    "batched_real_roots",
     "bracketed_minimum",
     "column_norm_preconditioner",
     "condition_number",
@@ -52,6 +57,7 @@ __all__ = [
     "pinv_solve",
     "polynomial_derivative",
     "polyval_ascending",
+    "polyval_ascending_batch",
     "real_roots",
     "real_roots_in_interval",
     "richardson_solve",

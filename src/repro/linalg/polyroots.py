@@ -11,6 +11,15 @@ helpers to keep only real roots inside a bracket.
 These routines power the ``projection="roots"`` solver option of the
 RPC model, which serves both as a correctness oracle for Golden Section
 Search in tests and as an ablation axis in the benchmarks.
+
+Two tiers are provided.  The scalar tier (:func:`real_roots`,
+:func:`minimize_polynomial_on_interval`) handles one polynomial at a
+time and is kept as the reference implementation.  The batched tier
+(:func:`batched_real_roots`, :func:`batched_minimize_on_interval`)
+solves ``n`` same-degree polynomials with **one** stacked
+companion-matrix ``eigvals`` call instead of a Python loop — this is
+what makes ``projection="roots"`` viable as a serving-path solver on
+large batches.
 """
 
 from __future__ import annotations
@@ -123,6 +132,179 @@ def polyval_ascending(coeffs: np.ndarray, x: np.ndarray) -> np.ndarray:
     for c in coeffs[-2::-1]:
         result = result * x + c
     return result
+
+
+def polyval_ascending_batch(coeffs: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Row-wise Horner evaluation of ``n`` polynomials at ``n`` point sets.
+
+    Parameters
+    ----------
+    coeffs:
+        Matrix of shape ``(n, m)``; row ``i`` holds the ascending-power
+        coefficients of polynomial ``i``.
+    x:
+        Evaluation points of shape ``(n, k)`` — row ``i`` is evaluated
+        under polynomial ``i`` (broadcasting a shared ``(k,)`` vector is
+        also accepted).
+
+    Returns
+    -------
+    Values of shape ``(n, k)``.
+    """
+    coeffs = np.atleast_2d(np.asarray(coeffs, dtype=float))
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 1:
+        x = np.broadcast_to(x, (coeffs.shape[0], x.size))
+    result = np.broadcast_to(
+        coeffs[:, -1:], x.shape
+    ).astype(float, copy=True)
+    for j in range(coeffs.shape[1] - 2, -1, -1):
+        result = result * x + coeffs[:, j : j + 1]
+    return result
+
+
+def batched_real_roots(
+    coeffs: np.ndarray,
+    imag_tol: float = 1e-9,
+    lead_tol: float = 1e-12,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Real roots of ``n`` same-degree polynomials via stacked companions.
+
+    All rows are trimmed to the common effective degree (the highest
+    power with a non-zero coefficient in *any* row).  Rows whose own
+    leading coefficient is degenerate relative to their magnitude are
+    flagged for a scalar fallback instead of poisoning the batch.
+
+    Parameters
+    ----------
+    coeffs:
+        Matrix of shape ``(n, m)``, ascending powers per row.
+    imag_tol:
+        Eigenvalues with ``|imag| <= imag_tol`` count as real roots.
+    lead_tol:
+        Row ``i`` is degenerate when ``|lead_i| <= lead_tol * max_j
+        |coeffs[i, j]|`` — its companion matrix would be dominated by
+        the division by a vanishing leading coefficient.
+
+    Returns
+    -------
+    (roots, valid, fallback):
+        ``roots`` of shape ``(n, deg)`` (junk where invalid), a boolean
+        ``valid`` mask of the same shape marking genuine real roots, and
+        a boolean ``fallback`` mask of shape ``(n,)`` marking degenerate
+        rows the caller must re-solve with the scalar path.
+    """
+    coeffs = np.atleast_2d(np.asarray(coeffs, dtype=float))
+    n, m = coeffs.shape
+    if m == 0:
+        raise ConfigurationError("empty coefficient matrix")
+    # Common trim: drop trailing columns that are zero in every row.
+    nz_cols = np.nonzero(np.any(coeffs != 0.0, axis=0))[0]
+    if nz_cols.size == 0 or nz_cols[-1] == 0:
+        # Constant (or identically zero) polynomials: no informative roots.
+        return (
+            np.zeros((n, 0)),
+            np.zeros((n, 0), dtype=bool),
+            np.zeros(n, dtype=bool),
+        )
+    coeffs = coeffs[:, : nz_cols[-1] + 1]
+    deg = coeffs.shape[1] - 1
+
+    lead = coeffs[:, -1]
+    scale = np.max(np.abs(coeffs), axis=1)
+    fallback = np.abs(lead) <= lead_tol * scale
+    good = ~fallback
+
+    roots = np.zeros((n, deg))
+    valid = np.zeros((n, deg), dtype=bool)
+    if np.any(good):
+        monic = coeffs[good, :-1] / lead[good, np.newaxis]
+        g = monic.shape[0]
+        comp = np.zeros((g, deg, deg))
+        idx = np.arange(deg - 1)
+        comp[:, idx + 1, idx] = 1.0
+        comp[:, :, -1] = -monic
+        eig = np.linalg.eigvals(comp)  # (g, deg), complex
+        real_mask = np.abs(eig.imag) <= imag_tol
+        roots[good] = eig.real
+        valid[good] = real_mask
+    return roots, valid, fallback
+
+
+def batched_minimize_on_interval(
+    coeffs: np.ndarray,
+    lo: float = 0.0,
+    hi: float = 1.0,
+    imag_tol: float = 1e-9,
+    boundary_tol: float = 1e-12,
+    newton_steps: int = 3,
+) -> np.ndarray:
+    """Row-wise global minimiser of ``n`` polynomials on ``[lo, hi]``.
+
+    The batched counterpart of :func:`minimize_polynomial_on_interval`:
+    stationary points come from one stacked companion-matrix eigenvalue
+    call, are polished by vectorised Newton steps, and the argmin per
+    row is taken over ``{lo, hi}`` plus the row's in-interval stationary
+    points.  Degenerate rows (vanishing leading derivative coefficient)
+    fall back to the scalar implementation transparently.
+
+    Parameters
+    ----------
+    coeffs:
+        Matrix of shape ``(n, m)``, ascending-power coefficients of the
+        polynomials to minimise (one per row).
+    lo, hi:
+        Interval endpoints.
+    imag_tol, boundary_tol:
+        Real-root classification tolerances, as in
+        :func:`real_roots_in_interval`.
+    newton_steps:
+        Newton polishing iterations applied to the stationary points.
+
+    Returns
+    -------
+    Array of shape ``(n,)``: the per-row minimiser in ``[lo, hi]``.
+    """
+    coeffs = np.atleast_2d(np.asarray(coeffs, dtype=float))
+    n, m = coeffs.shape
+    powers = np.arange(1, m)
+    deriv = coeffs[:, 1:] * powers[np.newaxis, :] if m > 1 else np.zeros((n, 1))
+
+    roots, valid, fallback = batched_real_roots(deriv, imag_tol=imag_tol)
+
+    out = np.empty(n)
+    if roots.shape[1] == 0:
+        # No stationary points anywhere: compare the endpoints only.
+        endpoints = np.array([lo, hi])
+        values = polyval_ascending_batch(coeffs, endpoints)
+        out[:] = endpoints[np.argmin(values, axis=1)]
+    else:
+        # Restrict to the interval (clipping near-boundary roots onto
+        # the endpoints, as the scalar path does), then polish.
+        clipped = np.clip(roots, lo, hi)
+        valid = valid & (np.abs(clipped - roots) <= boundary_tol)
+        polished = np.where(valid, clipped, lo)
+        if newton_steps > 0 and m > 2:
+            dderiv = deriv[:, 1:] * powers[np.newaxis, : m - 2]
+            for _ in range(newton_steps):
+                p = polyval_ascending_batch(deriv, polished)
+                dp = polyval_ascending_batch(dderiv, polished)
+                safe = np.abs(dp) > 1e-300
+                step = np.where(safe, p / np.where(safe, dp, 1.0), 0.0)
+                polished = polished - step
+        polished = np.clip(polished, lo, hi)
+
+        candidates = np.concatenate(
+            [polished, np.full((n, 1), lo), np.full((n, 1), hi)], axis=1
+        )
+        values = polyval_ascending_batch(coeffs, candidates)
+        values[:, : roots.shape[1]][~valid] = np.inf
+        out = candidates[np.arange(n), np.argmin(values, axis=1)]
+
+    if np.any(fallback):
+        for i in np.nonzero(fallback)[0]:
+            out[i] = minimize_polynomial_on_interval(coeffs[i], lo, hi)
+    return out
 
 
 def minimize_polynomial_on_interval(

@@ -1,0 +1,63 @@
+"""Serving subsystem: fit once, persist, and score at scale.
+
+The training path (:class:`repro.core.rpc.RankingPrincipalCurve`) is
+iterative and data-bound; the serving path is the opposite — a fitted
+model is a tiny object (``4d`` control-point coordinates plus ``2d``
+normalisation bounds) that can score millions of new objects with
+nothing but vectorised projection.  This package supplies the two
+halves of that workflow:
+
+* :mod:`repro.serving.persistence` — save/load fitted models as JSON
+  (human-readable, diff-able) or NumPy ``.npz`` (binary, compact).
+  Round-trips are exact: a reloaded model scores bit-identically to
+  the in-memory original.
+* :mod:`repro.serving.batch` — ``score_batch(model, X, chunk_size=...)``
+  scores arbitrarily large inputs in bounded memory by chunking the
+  vectorised projection step (which materialises an ``(n, n_grid)``
+  distance matrix), plus a generator variant for streaming pipelines.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import RankingPrincipalCurve
+>>> from repro.serving import save_model, load_model, score_batch
+>>> rng = np.random.default_rng(7)
+>>> s = rng.uniform(size=200)
+>>> X = np.column_stack([s, np.sqrt(s)]) + rng.normal(0, 0.01, (200, 2))
+>>> model = RankingPrincipalCurve(alpha=[1, 1], random_state=0).fit(X)
+>>> _ = save_model(model, "/tmp/rpc_model.json")
+>>> served = load_model("/tmp/rpc_model.json")
+>>> scores = score_batch(served, X, chunk_size=64)
+>>> bool(np.array_equal(scores, model.score_samples(X)))
+True
+
+The CLI exposes the same workflow end-to-end::
+
+    python -m repro save data.csv --alpha "+GDP,+LEB,-IMR,-TB" --model m.json
+    python -m repro load m.json
+    python -m repro score m.json fresh.csv --output ranking.csv
+"""
+
+from repro.serving.batch import (
+    DEFAULT_CHUNK_SIZE,
+    iter_score_chunks,
+    score_batch,
+)
+from repro.serving.persistence import (
+    check_model_path,
+    dumps_model,
+    load_model,
+    loads_model,
+    save_model,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "check_model_path",
+    "dumps_model",
+    "iter_score_chunks",
+    "load_model",
+    "loads_model",
+    "save_model",
+    "score_batch",
+]

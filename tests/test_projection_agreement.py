@@ -1,0 +1,179 @@
+"""Property-style agreement suite for the three Eq.(20) solvers.
+
+The projection step admits three interchangeable solvers — ``"gss"``
+(grid + Golden Section Search), ``"roots"`` (batched companion-matrix
+stationary-point enumeration) and ``"newton"`` (grid + safeguarded
+Newton).  They approach the same quintic optimisation from entirely
+different directions, so cross-checking them over a family of random
+monotone curves is a strong correctness oracle for all three at once:
+a bracketing bug, a root-filtering bug and a derivative-sign bug would
+each break a different pair.
+
+For every seeded case we assert that all solvers return scores in
+``[0, 1]`` and that per point either the scores agree tightly or the
+squared distances agree essentially exactly — the latter covers
+genuine ties, where two basins of the distance function are equally
+deep and solvers may legitimately pick different argmins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.projection import project_points
+from repro.geometry.bezier import BezierCurve
+from repro.geometry.cubic import cubic_from_interior_points, pinned_endpoints
+
+N_RANDOM_CASES = 50
+METHODS = ("gss", "roots", "newton")
+
+S_ATOL = 1e-6
+DIST_ATOL = 1e-10
+
+
+def _random_case(seed: int):
+    """A random monotone RPC-style cubic plus a noisy data batch."""
+    rng = np.random.default_rng(seed)
+    d = int(rng.integers(2, 5))
+    alpha = rng.choice([-1.0, 1.0], size=d)
+    # Interior control points strictly inside the cube, sorted along
+    # the worst-to-best diagonal so the curve is RPC-plausible.
+    p0, p3 = pinned_endpoints(alpha)
+    direction = (p3 - p0) / np.linalg.norm(p3 - p0)
+    interior = rng.uniform(0.05, 0.95, size=(2, d))
+    interior = interior[np.argsort(interior @ direction)]
+    curve = cubic_from_interior_points(alpha, p1=interior[0], p2=interior[1])
+
+    # Data: points near the curve plus a few far-off stragglers that
+    # exercise endpoint projections and basin selection.
+    s_true = rng.uniform(size=40)
+    X = curve.evaluate(s_true).T + rng.normal(0.0, 0.05, size=(40, d))
+    X = np.vstack([X, rng.uniform(-0.3, 1.3, size=(8, d))])
+    return curve, X
+
+
+def _assert_agreement(curve: BezierCurve, X: np.ndarray, context: str):
+    scores = {m: project_points(curve, X, method=m) for m in METHODS}
+    dists = {}
+    for m, s in scores.items():
+        assert np.all((s >= 0.0) & (s <= 1.0)), f"{context}: {m} out of [0,1]"
+        dists[m] = np.sum((X - curve.evaluate(s).T) ** 2, axis=1)
+
+    for m in ("roots", "newton"):
+        s_diff = np.abs(scores[m] - scores["gss"])
+        d_diff = np.abs(dists[m] - dists["gss"])
+        disagrees = (s_diff > S_ATOL) & (d_diff > DIST_ATOL)
+        assert not np.any(disagrees), (
+            f"{context}: gss vs {m} disagree on {int(disagrees.sum())} "
+            f"points; worst s-gap {s_diff[disagrees].max():.3e}, "
+            f"worst distance-gap {d_diff[disagrees].max():.3e}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(N_RANDOM_CASES))
+def test_solvers_agree_on_random_monotone_curves(seed):
+    curve, X = _random_case(seed)
+    _assert_agreement(curve, X, context=f"seed {seed}")
+
+
+class TestEndpointPinnedBatches:
+    """Points beyond the reference corners must project to s = 0 / 1."""
+
+    def test_far_corners_pin_to_endpoints(self):
+        alpha = np.array([1.0, 1.0, -1.0])
+        curve = cubic_from_interior_points(
+            alpha,
+            p1=np.array([0.2, 0.3, 0.7]),
+            p2=np.array([0.8, 0.7, 0.2]),
+        )
+        p0, p3 = pinned_endpoints(alpha)
+        beyond_worst = p0 + (p0 - p3) * 0.5  # past the worst corner
+        beyond_best = p3 + (p3 - p0) * 0.5
+        X = np.vstack([beyond_worst, beyond_best])
+        for method in METHODS:
+            s = project_points(curve, X, method=method)
+            assert s[0] == pytest.approx(0.0, abs=1e-9), method
+            assert s[1] == pytest.approx(1.0, abs=1e-9), method
+
+    def test_exact_endpoint_data(self):
+        alpha = np.array([1.0, -1.0])
+        curve = cubic_from_interior_points(
+            alpha, p1=np.array([0.3, 0.6]), p2=np.array([0.7, 0.3])
+        )
+        p0, p3 = pinned_endpoints(alpha)
+        X = np.vstack([p0, p3])
+        _assert_agreement(curve, X, context="exact endpoints")
+
+
+class TestNearDegenerateCurves:
+    """Collinear control points collapse the quintic's leading terms."""
+
+    def test_exactly_collinear_control_points(self):
+        # Interior points exactly on the diagonal: the cubic is the
+        # straight segment and the stationary polynomial degenerates.
+        for d in (2, 4):
+            alpha = np.ones(d)
+            curve = cubic_from_interior_points(
+                alpha, p1=np.full(d, 1.0 / 3.0), p2=np.full(d, 2.0 / 3.0)
+            )
+            X = np.random.default_rng(d).uniform(-0.1, 1.1, size=(30, d))
+            _assert_agreement(curve, X, context=f"collinear d={d}")
+
+    def test_nearly_collinear_control_points(self):
+        d = 3
+        alpha = np.array([1.0, 1.0, 1.0])
+        rng = np.random.default_rng(99)
+        for eps in (1e-6, 1e-9, 1e-12):
+            curve = cubic_from_interior_points(
+                alpha,
+                p1=np.full(d, 1.0 / 3.0) + eps,
+                p2=np.full(d, 2.0 / 3.0) - eps,
+            )
+            X = rng.uniform(size=(25, d))
+            _assert_agreement(curve, X, context=f"eps={eps}")
+
+    def test_coincident_interior_points(self):
+        alpha = np.array([1.0, 1.0])
+        curve = cubic_from_interior_points(
+            alpha, p1=np.array([0.5, 0.5]), p2=np.array([0.5, 0.5])
+        )
+        X = np.random.default_rng(5).uniform(size=(20, 2))
+        _assert_agreement(curve, X, context="coincident interior")
+
+
+class TestWarmStartAgreement:
+    """Warm-started projection agrees with its own cold projection."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_warm_matches_cold(self, seed):
+        curve, X = _random_case(seed)
+        for method in ("gss", "newton"):
+            cold = project_points(curve, X, method=method)
+            warm = project_points(curve, X, method=method, s0=cold)
+            d_cold = np.sum((X - curve.evaluate(cold).T) ** 2, axis=1)
+            d_warm = np.sum((X - curve.evaluate(warm).T) ** 2, axis=1)
+            close = np.abs(warm - cold) <= S_ATOL
+            tied = np.abs(d_warm - d_cold) <= DIST_ATOL
+            assert np.all(close | tied), f"seed {seed} method {method}"
+
+    def test_bad_guess_bounded_by_safeguard(self):
+        # A deliberately wrong warm start (all points claimed at s=0.5)
+        # cannot end up farther from the curve than the best safeguard
+        # grid sample — that is the contract that makes warm starts
+        # safe inside the fit loop, where guesses are additionally
+        # gated on small curve movement.
+        from repro.core.projection import _SAFEGUARD_GRID
+
+        curve, X = _random_case(3)
+        warm = project_points(
+            curve, X, method="gss", s0=np.full(X.shape[0], 0.5)
+        )
+        d_warm = np.sum((X - curve.evaluate(warm).T) ** 2, axis=1)
+        sparse = np.linspace(0.0, 1.0, _SAFEGUARD_GRID)
+        pts = curve.evaluate(sparse)  # (d, g)
+        d_sparse = np.min(
+            np.sum((X[:, :, np.newaxis] - pts[np.newaxis]) ** 2, axis=1),
+            axis=1,
+        )
+        assert np.all(d_warm <= d_sparse + 1e-9)
