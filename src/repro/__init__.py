@@ -27,7 +27,7 @@ from repro.core import (
 from repro.geometry import BezierCurve
 from repro.serving import load_model, save_model, score_batch
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BezierCurve",

@@ -12,6 +12,10 @@ Usage::
         --model model.json
     python -m repro load model.json       # inspect a saved model
     python -m repro score model.json fresh.csv --output ranking.csv
+    python -m repro score model.json huge.csv --stream --jobs 4
+
+    # long-running scoring daemon (JSON over HTTP)
+    python -m repro serve --model wellbeing=model.json --port 8000
 
 The ``rank`` command loads a headered CSV (first column = labels by
 default), fits a Ranking Principal Curve with the given attribute
@@ -19,7 +23,12 @@ directions, prints the top of the ranking list and optionally writes
 the full list to a CSV.  ``save`` fits the same way but persists the
 fitted model (JSON or ``.npz`` by suffix) instead of discarding it;
 ``score`` reloads such a model in a fresh process and scores new rows
-with chunked, bounded-memory batch projection — no refitting.
+with chunked, bounded-memory batch projection — no refitting; with
+``--stream`` the CSV is read incrementally so inputs larger than
+memory score in ``O(chunk_size)`` space, and ``--jobs`` fans chunks
+out over worker threads.  ``serve`` keeps any number of saved models
+resident behind an HTTP daemon (see :mod:`repro.server`) instead of
+paying a process start per scoring run.
 """
 
 from __future__ import annotations
@@ -31,12 +40,17 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.exceptions import DataValidationError, ReproError
+from repro.core.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    ReproError,
+)
 from repro.core.rpc import RankingPrincipalCurve
 from repro.core.scoring import build_ranking_list
 from repro.data.loaders import load_csv, parse_alpha_spec, save_ranking_csv
 from repro.serving.batch import score_batch
 from repro.serving.persistence import check_model_path, load_model, save_model
+from repro.serving.stream import iter_stream_scores
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -103,8 +117,10 @@ def build_parser() -> argparse.ArgumentParser:
     save.add_argument("--seed", type=int, default=0)
     save.add_argument(
         "--warm-start",
-        action="store_true",
-        help="use warm-started projection during fitting",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="warm-started projection during fitting (on by default; "
+        "--no-warm-start restores the cold per-iteration grid scan)",
     )
 
     load = sub.add_parser("load", help="inspect a saved model")
@@ -127,6 +143,54 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="rows per projection chunk (default 4096)",
+    )
+    score.add_argument(
+        "--stream",
+        action="store_true",
+        help="read the CSV incrementally (never materialises the "
+        "input; output is identical to the in-memory path)",
+    )
+    score.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker threads for chunk dispatch (-1 = all cores)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the long-running HTTP scoring daemon"
+    )
+    serve.add_argument(
+        "--model",
+        action="append",
+        required=True,
+        metavar="NAME=PATH",
+        dest="models",
+        help="serve the saved model at PATH under NAME (repeatable)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default local)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8000, help="TCP port (default 8000)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="threads per scoring request for chunk dispatch "
+        "(-1 = all cores; default serial)",
+    )
+    serve.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="rows per projection chunk (default 4096)",
+    )
+    serve.add_argument(
+        "--no-reload",
+        action="store_true",
+        help="disable hot-reloading models when their file changes",
     )
     return parser
 
@@ -235,23 +299,90 @@ def _run_load(args: argparse.Namespace) -> int:
 
 def _run_score(args: argparse.Namespace) -> int:
     model = load_model(args.model_path)
-    table = load_csv(
-        args.csv_path,
-        label_column=args.label_column,
-        attribute_columns=model.feature_names_,
-    )
-    if table.X.shape[1] != model.alpha.size:
-        raise DataValidationError(
-            f"model expects {model.alpha.size} attributes but "
-            f"{args.csv_path} provides {table.X.shape[1]}"
+    if args.stream:
+        # Streaming path: the input matrix is never materialised —
+        # only the (small) label and score vectors accumulate, so the
+        # ranking and every printed line match the in-memory path
+        # exactly while peak memory stays O(chunk_size * d).
+        labels: list[str] = []
+        score_chunks = []
+        for chunk_labels, chunk_scores in iter_stream_scores(
+            model,
+            args.csv_path,
+            chunk_size=args.chunk_size,
+            label_column=args.label_column,
+            n_jobs=args.jobs,
+        ):
+            labels.extend(chunk_labels)
+            score_chunks.append(chunk_scores)
+        scores = np.concatenate(score_chunks)
+    else:
+        table = load_csv(
+            args.csv_path,
+            label_column=args.label_column,
+            attribute_columns=model.feature_names_,
         )
-    scores = score_batch(model, table.X, chunk_size=args.chunk_size)
-    ranking = build_ranking_list(scores, labels=table.labels)
+        if table.X.shape[1] != model.alpha.size:
+            raise DataValidationError(
+                f"model expects {model.alpha.size} attributes but "
+                f"{args.csv_path} provides {table.X.shape[1]}"
+            )
+        labels = table.labels
+        scores = score_batch(
+            model, table.X, chunk_size=args.chunk_size, n_jobs=args.jobs
+        )
+    ranking = build_ranking_list(scores, labels=labels)
     print(
-        f"scored {table.X.shape[0]} objects with saved model "
+        f"scored {len(labels)} objects with saved model "
         f"{args.model_path}"
     )
     _print_ranking(ranking, args.top, args.output)
+    return 0
+
+
+def parse_model_specs(specs: Sequence[str]) -> list[tuple[str, str]]:
+    """Split repeated ``NAME=PATH`` arguments of ``repro serve``."""
+    pairs = []
+    seen = set()
+    for spec in specs:
+        name, sep, path = spec.partition("=")
+        name = name.strip()
+        if not sep or not name or not path:
+            raise ConfigurationError(
+                f"--model expects NAME=PATH, got {spec!r}"
+            )
+        if name in seen:
+            raise ConfigurationError(f"model name {name!r} given twice")
+        seen.add(name)
+        pairs.append((name, path))
+    return pairs
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.server import ModelRegistry, ScoringHTTPServer
+
+    registry = ModelRegistry(check_mtime=not args.no_reload)
+    for name, path in parse_model_specs(args.models):
+        entry = registry.register(name, path)
+        state = "fitted" if entry.model.is_fitted else "NOT FITTED"
+        print(f"registered {name!r} from {path} ({state})")
+
+    server = ScoringHTTPServer(
+        (args.host, args.port),
+        registry,
+        chunk_size=args.chunk_size,
+        n_jobs=args.workers,
+    )
+    host, port = server.server_address[:2]
+    print(f"serving {len(registry)} model(s) on http://{host}:{port}")
+    print("endpoints: /healthz /metrics /v1/models "
+          "/v1/models/<name>/score /v1/models/<name>/rank")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.server_close()
     return 0
 
 
@@ -265,6 +396,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "save": _run_save,
         "load": _run_load,
         "score": _run_score,
+        "serve": _run_serve,
     }
     try:
         return handlers[args.command](args)

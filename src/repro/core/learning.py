@@ -216,7 +216,7 @@ def fit_rpc_curve(
     enforce_constraints: bool = True,
     margin: float = 1e-6,
     sample_weight: Optional[np.ndarray] = None,
-    warm_start: bool = False,
+    warm_start: bool = True,
 ) -> FitResult:
     """Run Algorithm 1 on normalised data ``X in [0, 1]^{n x d}``.
 
@@ -273,11 +273,12 @@ def fit_rpc_curve(
         projection step (see :func:`repro.core.projection.project_points`),
         replacing the full per-iteration grid scan with narrow
         bracketed solves plus a sparse safeguard, gated on the curve
-        having moved less than one grid cell that iteration.  Off by
+        having moved less than one grid cell that iteration.  On by
         default; both settings converge to the same optimum (final
         objectives agree to ~1e-10 on the bundled datasets, asserted
         in the test suite) but the iteration-by-iteration score noise
-        differs at solver-tolerance level.
+        differs at solver-tolerance level.  Pass ``False`` for the
+        paper-literal cold grid scan every iteration.
 
     Returns
     -------

@@ -39,6 +39,42 @@ class TabularData:
     attribute_names: list[str]
 
 
+def resolve_csv_columns(
+    header: Sequence[str],
+    label_column: Optional[str] = None,
+    attribute_columns: Optional[Sequence[str]] = None,
+) -> tuple[list[str], int, list[int], list[str]]:
+    """Map a raw CSV header to label/attribute column indices.
+
+    Shared by the in-memory reader (:func:`load_csv`) and the
+    streaming reader (:mod:`repro.serving.stream`) so both resolve —
+    and reject — columns identically.
+
+    Returns ``(header, label_idx, attr_idx, attribute_names)`` with
+    ``header`` whitespace-stripped.
+    """
+    header = [h.strip() for h in header]
+    if label_column is None:
+        label_column = header[0]
+    if label_column not in header:
+        raise DataValidationError(
+            f"label column {label_column!r} not in header {header}"
+        )
+    label_idx = header.index(label_column)
+
+    if attribute_columns is None:
+        attribute_columns = [h for h in header if h != label_column]
+    missing = [c for c in attribute_columns if c not in header]
+    if missing:
+        raise DataValidationError(
+            f"attribute columns {missing} not in header {header}"
+        )
+    if not attribute_columns:
+        raise DataValidationError("no attribute columns to load")
+    attr_idx = [header.index(c) for c in attribute_columns]
+    return header, label_idx, attr_idx, list(attribute_columns)
+
+
 def load_csv(
     path: str | pathlib.Path,
     label_column: Optional[str] = None,
@@ -73,25 +109,9 @@ def load_csv(
             raise DataValidationError(f"{path} is empty") from None
         rows = [row for row in reader if row and any(c.strip() for c in row)]
 
-    header = [h.strip() for h in header]
-    if label_column is None:
-        label_column = header[0]
-    if label_column not in header:
-        raise DataValidationError(
-            f"label column {label_column!r} not in header {header}"
-        )
-    label_idx = header.index(label_column)
-
-    if attribute_columns is None:
-        attribute_columns = [h for h in header if h != label_column]
-    missing = [c for c in attribute_columns if c not in header]
-    if missing:
-        raise DataValidationError(
-            f"attribute columns {missing} not in header {header}"
-        )
-    if not attribute_columns:
-        raise DataValidationError("no attribute columns to load")
-    attr_idx = [header.index(c) for c in attribute_columns]
+    header, label_idx, attr_idx, attribute_columns = resolve_csv_columns(
+        header, label_column, attribute_columns
+    )
 
     labels = []
     data = []

@@ -1,0 +1,51 @@
+"""Long-running scoring daemon: registry, metrics and HTTP front end.
+
+PR 1's serving layer made models durable (:mod:`repro.serving`); this
+package makes them *resident*.  A :class:`ModelRegistry` holds any
+number of named fitted models loaded from the persistence formats and
+hot-reloads them when their backing file changes; a
+:class:`ScoringHTTPServer` (stdlib ``ThreadingHTTPServer``, one thread
+per connection, zero dependencies) exposes them over JSON endpoints;
+:class:`ServerMetrics` keeps request counts, latency percentiles and
+rows-scored totals for ``GET /metrics``.
+
+Quickstart
+----------
+>>> from repro.server import ModelRegistry, ScoringHTTPServer
+>>> registry = ModelRegistry()
+>>> _ = registry.register("wellbeing", "model.json")   # doctest: +SKIP
+>>> server = ScoringHTTPServer(("127.0.0.1", 8000), registry)  # doctest: +SKIP
+>>> server.serve_forever()                             # doctest: +SKIP
+
+Then, from anywhere::
+
+    curl -s localhost:8000/healthz
+    curl -s -X POST localhost:8000/v1/models/wellbeing/score \\
+         -d '{"row": [43.8, 81.1, 4.5, 6.0]}'
+
+The same daemon ships as a CLI subcommand::
+
+    python -m repro serve --model wellbeing=model.json --port 8000
+"""
+
+from repro.server.http import (
+    MAX_BODY_BYTES,
+    ScoringHTTPServer,
+    ScoringRequestHandler,
+)
+from repro.server.metrics import ServerMetrics
+from repro.server.registry import (
+    ModelRegistry,
+    RegisteredModel,
+    UnknownModelError,
+)
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "ModelRegistry",
+    "RegisteredModel",
+    "ScoringHTTPServer",
+    "ScoringRequestHandler",
+    "ServerMetrics",
+    "UnknownModelError",
+]

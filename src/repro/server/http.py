@@ -1,0 +1,355 @@
+"""The scoring daemon: a stdlib-only JSON-over-HTTP server.
+
+A fitted Ranking Principal Curve is a tiny object, but PR 1's serving
+path still paid a process start and a model load per scoring run.  This
+module keeps models resident behind a long-running
+:class:`http.server.ThreadingHTTPServer` — one OS thread per
+connection, models shared through a :class:`ModelRegistry`, large
+bodies dispatched through chunked (optionally multi-threaded)
+:func:`score_batch`.  No third-party dependencies.
+
+Endpoints
+---------
+``GET /healthz``
+    Liveness: ``{"status": "ok", "models": [...]}``.
+``GET /metrics``
+    Request counts, latency percentiles and rows-scored totals.
+``GET /v1/models``
+    Registry listing (path, format, attribute names, reload state).
+``POST /v1/models/<name>/score``
+    Body ``{"row": [..]}`` for one object or ``{"rows": [[..], ..]}``
+    for a batch; returns scores aligned with the input order.
+``POST /v1/models/<name>/rank``
+    Like ``score`` with optional ``"labels"``; returns the full
+    ranking list, best first.
+
+Error contract: malformed JSON or a body of the wrong shape is ``400``;
+an unregistered model name is ``404``; structurally valid input the
+model rejects (wrong attribute count, NaN) is ``422``; a registered but
+unfitted model is ``409``.  Every error body is ``{"error": "..."}``.
+
+Usage
+-----
+>>> from repro.server import ModelRegistry, ScoringHTTPServer
+>>> registry = ModelRegistry()
+>>> _ = registry.register("demo", "model.json")      # doctest: +SKIP
+>>> server = ScoringHTTPServer(("127.0.0.1", 0), registry)  # doctest: +SKIP
+>>> server.serve_forever()                           # doctest: +SKIP
+
+or, from the shell::
+
+    python -m repro serve --model demo=model.json --port 8000
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import urlsplit
+
+import numpy as np
+
+from repro.core.exceptions import (
+    ConfigurationError,
+    DataValidationError,
+    NotFittedError,
+)
+from repro.core.scoring import build_ranking_list
+from repro.server.metrics import ServerMetrics
+from repro.server.registry import ModelRegistry, UnknownModelError
+from repro.serving.batch import (
+    _validate_chunk_size,
+    _validate_n_jobs,
+    score_batch,
+)
+
+#: ``/v1/models/<name>/score`` and ``/v1/models/<name>/rank``.
+_MODEL_ROUTE = re.compile(r"^/v1/models/([^/]+)/(score|rank)$")
+
+#: Reject request bodies beyond this size (64 MiB ≈ 2M rows at d=4)
+#: before reading them; protects the daemon from accidental uploads.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class _RequestError(Exception):
+    """Internal: an error with a definite HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class ScoringHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to a model registry.
+
+    Parameters
+    ----------
+    address:
+        ``(host, port)``; port ``0`` binds an ephemeral port (the
+        chosen one is in ``server_address`` — handy for tests).
+    registry:
+        The models to serve; may be hot-reloaded while running.
+    chunk_size:
+        Rows per projection chunk for batch bodies (``None`` uses the
+        :mod:`repro.serving.batch` default).
+    n_jobs:
+        Worker threads per scoring request (see :func:`score_batch`).
+    metrics:
+        Optional shared :class:`ServerMetrics`; a fresh one otherwise.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        registry: ModelRegistry,
+        chunk_size: Optional[int] = None,
+        n_jobs: Optional[int] = None,
+        metrics: Optional[ServerMetrics] = None,
+    ):
+        # Fail fast on misconfiguration: a daemon that boots "healthy"
+        # and then 400s every scoring request blames the client for an
+        # operator mistake.  Validate before binding the socket.
+        _validate_chunk_size(chunk_size)
+        _validate_n_jobs(n_jobs)
+        super().__init__(address, ScoringRequestHandler)
+        self.registry = registry
+        self.chunk_size = chunk_size
+        self.n_jobs = n_jobs
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+
+
+class ScoringRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests against the owning :class:`ScoringHTTPServer`."""
+
+    server: ScoringHTTPServer
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        path = urlsplit(self.path).path
+        if path == "/healthz":
+            self._handle("GET /healthz", self._get_healthz)
+        elif path == "/metrics":
+            self._handle("GET /metrics", self._get_metrics)
+        elif path == "/v1/models":
+            self._handle("GET /v1/models", self._get_models)
+        elif _MODEL_ROUTE.match(path):
+            self._send_json(
+                405,
+                {"error": "use POST for scoring endpoints"},
+                headers={"Allow": "POST"},
+            )
+            self.server.metrics.observe("GET (scoring route)", 405, 0.0)
+        else:
+            self._send_json(404, {"error": f"no route for {path!r}"})
+            self.server.metrics.observe("GET (unrouted)", 404, 0.0)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        path = urlsplit(self.path).path
+        match = _MODEL_ROUTE.match(path)
+        if match is None:
+            self._drain_body()
+            self._send_json(404, {"error": f"no route for {path!r}"})
+            self.server.metrics.observe("POST (unrouted)", 404, 0.0)
+            return
+        name, action = match.group(1), match.group(2)
+        endpoint = f"POST /v1/models/{{name}}/{action}"
+        self._handle(endpoint, lambda: self._post_model(name, action))
+
+    # ------------------------------------------------------------------
+    # Handlers (each returns ``(status, payload, rows_scored)``)
+    # ------------------------------------------------------------------
+    def _get_healthz(self) -> Tuple[int, dict, int]:
+        return 200, {
+            "status": "ok",
+            "models": self.server.registry.names(),
+        }, 0
+
+    def _get_metrics(self) -> Tuple[int, dict, int]:
+        return 200, self.server.metrics.snapshot(), 0
+
+    def _get_models(self) -> Tuple[int, dict, int]:
+        return 200, {"models": self.server.registry.describe()}, 0
+
+    def _post_model(self, name: str, action: str) -> Tuple[int, dict, int]:
+        body = self._read_json_body()
+        try:
+            model = self.server.registry.get(name)
+        except UnknownModelError as exc:
+            raise _RequestError(404, str(exc)) from None
+
+        X, single, labels = self._parse_scoring_body(body, action)
+        if X.shape[0] == 0 and not model.is_fitted:
+            # An empty batch skips score_batch (nothing to score), but
+            # the documented taxonomy still promises 409 for unfitted
+            # models — an empty probe must not report "servable".
+            raise _RequestError(
+                409, str(NotFittedError("RankingPrincipalCurve"))
+            )
+        try:
+            scores = score_batch(
+                model,
+                X,
+                chunk_size=self.server.chunk_size,
+                n_jobs=self.server.n_jobs,
+            )
+        except NotFittedError as exc:
+            raise _RequestError(409, str(exc)) from None
+        except DataValidationError as exc:
+            raise _RequestError(422, str(exc)) from None
+
+        n = int(X.shape[0])
+        if action == "score":
+            payload: dict = {"model": name, "n": n, "scores": scores.tolist()}
+            if single:
+                payload["score"] = float(scores[0])
+            return 200, payload, n
+        ranking = build_ranking_list(scores, labels=labels)
+        entries = [
+            {
+                "position": int(ranking.positions[idx]),
+                "label": (
+                    ranking.labels[idx] if ranking.labels else str(int(idx))
+                ),
+                "score": float(ranking.scores[idx]),
+            }
+            for idx in ranking.order
+        ]
+        return 200, {"model": name, "n": n, "ranking": entries}, n
+
+    # ------------------------------------------------------------------
+    # Request parsing
+    # ------------------------------------------------------------------
+    def _read_json_body(self) -> dict:
+        length = self.headers.get("Content-Length")
+        if length is None:
+            self.close_connection = True
+            raise _RequestError(411, "Content-Length required")
+        try:
+            n_bytes = int(length)
+        except ValueError:
+            self.close_connection = True
+            raise _RequestError(400, f"bad Content-Length {length!r}") from None
+        if n_bytes < 0:
+            # read(-1) would block until EOF, pinning this thread.
+            self.close_connection = True
+            raise _RequestError(400, f"bad Content-Length {length!r}")
+        if n_bytes > MAX_BODY_BYTES:
+            # Erroring without consuming the body would desync a
+            # keep-alive connection, so close it after responding.
+            self.close_connection = True
+            raise _RequestError(
+                413, f"body of {n_bytes} bytes exceeds {MAX_BODY_BYTES}"
+            )
+        raw = self.rfile.read(n_bytes)
+        try:
+            body = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _RequestError(400, f"malformed JSON body: {exc}") from None
+        if not isinstance(body, dict):
+            raise _RequestError(
+                400, "body must be a JSON object with 'row' or 'rows'"
+            )
+        return body
+
+    @staticmethod
+    def _parse_scoring_body(
+        body: dict, action: str
+    ) -> Tuple[np.ndarray, bool, Optional[list]]:
+        """Extract ``(X, is_single_row, labels)`` from a request body."""
+        if ("row" in body) == ("rows" in body):
+            raise _RequestError(
+                400, "provide exactly one of 'row' or 'rows'"
+            )
+        single = "row" in body
+        rows = body["row"] if single else body["rows"]
+        try:
+            X = np.asarray(rows, dtype=float)
+        except (TypeError, ValueError) as exc:
+            raise _RequestError(
+                400, f"'{'row' if single else 'rows'}' must be numeric: {exc}"
+            ) from None
+        if single:
+            if X.ndim != 1:
+                raise _RequestError(
+                    400, f"'row' must be a flat list, got ndim={X.ndim}"
+                )
+            X = X[np.newaxis, :]
+        elif rows == []:
+            # An empty batch is a valid no-op (zero rows, zero scores);
+            # the labels rules below still apply to it.
+            X = np.empty((0, 0))
+        elif X.ndim != 2:
+            raise _RequestError(
+                400,
+                "'rows' must be a list of equal-length numeric lists, "
+                f"got ndim={X.ndim}",
+            )
+        labels = body.get("labels")
+        if labels is not None:
+            if action != "rank":
+                raise _RequestError(
+                    400, "'labels' is only accepted by the rank endpoint"
+                )
+            if not isinstance(labels, list) or len(labels) != X.shape[0]:
+                raise _RequestError(
+                    400,
+                    f"'labels' must list one name per row "
+                    f"({X.shape[0]} rows)",
+                )
+            labels = [str(label) for label in labels]
+        return X, single, labels
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _handle(self, endpoint: str, handler) -> None:
+        """Run ``handler``, send its JSON, record metrics either way."""
+        started = time.perf_counter()
+        rows = 0
+        try:
+            status, payload, rows = handler()
+        except _RequestError as exc:
+            status, payload = exc.status, {"error": str(exc)}
+        except (ConfigurationError, DataValidationError) as exc:
+            status, payload = 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - daemon must not die
+            status, payload = 500, {"error": f"internal error: {exc}"}
+        # Record before responding: a client that sees the response and
+        # immediately reads /metrics must find this request counted.
+        self.server.metrics.observe(
+            endpoint, status, time.perf_counter() - started, rows=rows
+        )
+        self._send_json(status, payload)
+
+    def _drain_body(self) -> None:
+        """Consume an unrouted request's body so keep-alive stays sane."""
+        try:
+            n_bytes = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            return
+        if 0 < n_bytes <= MAX_BODY_BYTES:
+            self.rfile.read(n_bytes)
+
+    def _send_json(
+        self, status: int, payload: dict, headers: Optional[dict] = None
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence the default stderr access log; /metrics covers it."""

@@ -1,0 +1,103 @@
+"""Thread-safe request metrics for the scoring daemon.
+
+The daemon handles each connection on its own thread
+(:class:`http.server.ThreadingHTTPServer`), so every counter here is
+guarded by one lock; observations are two dict updates and an append,
+cheap enough to sit on the request path.  Latencies are kept in a
+bounded per-endpoint window (most recent :data:`DEFAULT_WINDOW`
+requests) — enough for stable p50/p90/p99 estimates without unbounded
+growth on a long-lived process.
+
+``GET /metrics`` returns :meth:`ServerMetrics.snapshot` as JSON.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from typing import Deque, Dict
+
+import numpy as np
+
+#: Latency observations retained per endpoint for percentile estimates.
+DEFAULT_WINDOW = 1024
+
+#: Percentiles reported per endpoint, in milliseconds.
+PERCENTILES = (50, 90, 99)
+
+
+class ServerMetrics:
+    """Request counts, latency percentiles and rows-scored totals."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        self._lock = threading.Lock()
+        self._window = int(window)
+        self._started = time.time()
+        self._counts: Counter[str] = Counter()
+        self._statuses: Dict[str, Counter[int]] = {}
+        self._latencies: Dict[str, Deque[float]] = {}
+        self._rows_scored = 0
+
+    def observe(
+        self,
+        endpoint: str,
+        status: int,
+        seconds: float,
+        rows: int = 0,
+    ) -> None:
+        """Record one handled request.
+
+        Parameters
+        ----------
+        endpoint:
+            Route label, e.g. ``"POST /v1/models/{name}/score"`` — the
+            pattern, not the concrete path, so per-model traffic folds
+            into one series.
+        status:
+            HTTP status sent back.
+        seconds:
+            Wall-clock handling time.
+        rows:
+            Observations scored while handling (0 for non-scoring
+            endpoints and failures).
+        """
+        with self._lock:
+            self._counts[endpoint] += 1
+            self._statuses.setdefault(endpoint, Counter())[int(status)] += 1
+            self._latencies.setdefault(
+                endpoint, deque(maxlen=self._window)
+            ).append(float(seconds))
+            self._rows_scored += int(rows)
+
+    @property
+    def rows_scored(self) -> int:
+        with self._lock:
+            return self._rows_scored
+
+    def snapshot(self) -> dict:
+        """A JSON-serialisable view of everything recorded so far."""
+        with self._lock:
+            endpoints = {}
+            for endpoint, count in sorted(self._counts.items()):
+                window = np.asarray(self._latencies[endpoint], dtype=float)
+                quantiles = np.percentile(window * 1e3, PERCENTILES)
+                endpoints[endpoint] = {
+                    "requests": int(count),
+                    "by_status": {
+                        str(status): int(n)
+                        for status, n in sorted(
+                            self._statuses[endpoint].items()
+                        )
+                    },
+                    "latency_ms": {
+                        f"p{p}": float(round(q, 3))
+                        for p, q in zip(PERCENTILES, quantiles)
+                    },
+                }
+            return {
+                "uptime_seconds": float(round(time.time() - self._started, 3)),
+                "requests_total": int(sum(self._counts.values())),
+                "rows_scored_total": int(self._rows_scored),
+                "endpoints": endpoints,
+            }

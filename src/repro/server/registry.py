@@ -1,0 +1,173 @@
+"""Thread-safe named-model registry with mtime-based hot reload.
+
+The daemon serves any number of fitted models side by side, each
+registered under a short name (``repro serve --model wellbeing=m.json
+--model journals=j.npz``).  The registry owns the mapping from name to
+loaded :class:`RankingPrincipalCurve` and re-checks the backing file's
+mtime on every access: overwrite ``m.json`` with a freshly fitted model
+and the next request scores with it — no restart, no dropped traffic.
+
+Reload failures are contained: if the file on disk is mid-write or
+corrupt, the previous model keeps serving and the error is recorded on
+the entry (visible in ``GET /v1/models``); the reload is retried on the
+next access because the stored mtime is only advanced on success.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.exceptions import ReproError
+from repro.core.rpc import RankingPrincipalCurve
+from repro.serving.persistence import check_model_path, load_model
+
+
+class UnknownModelError(ReproError, KeyError):
+    """Raised when a request names a model the registry does not hold."""
+
+    def __init__(self, name: str, available: List[str]):
+        self.name = name
+        self.available = available
+        super().__init__(
+            f"unknown model {name!r}; registered: {available or 'none'}"
+        )
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
+
+
+@dataclass
+class RegisteredModel:
+    """One registry slot: a loaded model plus its backing file state."""
+
+    name: str
+    path: pathlib.Path
+    model: RankingPrincipalCurve
+    mtime_ns: int
+    loads: int = 1
+    last_error: Optional[str] = None
+    #: Serialises reloads of *this* entry only; never held while
+    #: scoring, and other entries' requests are unaffected.
+    reload_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def describe(self) -> dict:
+        """JSON-serialisable summary for the ``/v1/models`` listing."""
+        return {
+            "name": self.name,
+            "path": str(self.path),
+            "format": self.path.suffix.lstrip("."),
+            "fitted": self.model.is_fitted,
+            "n_attributes": int(self.model.alpha.size),
+            "degree": int(self.model.degree),
+            "feature_names": self.model.feature_names_,
+            "loads": self.loads,
+            "last_error": self.last_error,
+        }
+
+
+class ModelRegistry:
+    """Mapping of names to served models; safe under concurrent access.
+
+    The name→entry mapping is guarded by one reentrant lock, held only
+    for dict operations — never across disk I/O.  Hot-reload stat and
+    load run outside it, serialised per entry by a non-blocking
+    per-entry lock: while one thread reloads model A, concurrent
+    requests (for A or any other model) keep serving the currently
+    loaded objects without waiting.  A reload swaps in a new model
+    object rather than mutating the old one, so requests already
+    scoring with the previous model finish correctly.
+    """
+
+    def __init__(self, check_mtime: bool = True):
+        self._lock = threading.RLock()
+        self._models: Dict[str, RegisteredModel] = {}
+        self.check_mtime = bool(check_mtime)
+
+    def register(
+        self, name: str, path: str | pathlib.Path
+    ) -> RegisteredModel:
+        """Load ``path`` and serve it under ``name`` (replacing any)."""
+        path = check_model_path(path)
+        # Stat before load (same order as _maybe_reload): a write that
+        # lands in between makes the stored mtime stale, so the next
+        # access reloads — whereas load-then-stat would record the new
+        # mtime against the old bytes and suppress that reload forever.
+        mtime_ns = path.stat().st_mtime_ns
+        entry = RegisteredModel(
+            name=str(name),
+            path=path,
+            model=load_model(path),
+            mtime_ns=mtime_ns,
+        )
+        with self._lock:
+            self._models[entry.name] = entry
+        return entry
+
+    def get(self, name: str) -> RankingPrincipalCurve:
+        """The current model for ``name``, hot-reloading if it changed."""
+        with self._lock:
+            try:
+                entry = self._models[name]
+            except KeyError:
+                raise UnknownModelError(name, self.names()) from None
+        if self.check_mtime:
+            self._maybe_reload(entry)
+        return entry.model
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._models)
+
+    def describe(self) -> List[dict]:
+        """Listing payload of ``GET /v1/models``, name-sorted."""
+        with self._lock:
+            return [
+                self._models[name].describe() for name in sorted(self._models)
+            ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._models
+
+    @staticmethod
+    def _maybe_reload(entry: RegisteredModel) -> None:
+        """Swap in the on-disk model if its mtime moved.
+
+        Runs *without* the registry lock (disk I/O must not stall other
+        models' requests); a non-blocking per-entry lock makes
+        concurrent callers for the same entry serve the current model
+        instead of queueing behind the reload.
+        """
+        if not entry.reload_lock.acquire(blocking=False):
+            return
+        try:
+            try:
+                mtime_ns = entry.path.stat().st_mtime_ns
+            except OSError as exc:
+                # File vanished: keep serving the loaded model, note why.
+                entry.last_error = f"stat failed: {exc}"
+                return
+            if mtime_ns == entry.mtime_ns:
+                return
+            try:
+                entry.model = load_model(entry.path)
+            except (ReproError, OSError, ValueError) as exc:
+                # Mid-write or corrupt file: previous model keeps
+                # serving; mtime is left unchanged so the next access
+                # retries.
+                entry.last_error = f"reload failed: {exc}"
+                return
+            entry.mtime_ns = mtime_ns
+            entry.loads += 1
+            entry.last_error = None
+        finally:
+            entry.reload_lock.release()

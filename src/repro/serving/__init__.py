@@ -14,7 +14,14 @@ halves of that workflow:
 * :mod:`repro.serving.batch` — ``score_batch(model, X, chunk_size=...)``
   scores arbitrarily large inputs in bounded memory by chunking the
   vectorised projection step (which materialises an ``(n, n_grid)``
-  distance matrix), plus a generator variant for streaming pipelines.
+  distance matrix), optionally fanning chunks out over worker threads
+  (``n_jobs=``), plus a generator variant for streaming pipelines.
+* :mod:`repro.serving.stream` — incremental CSV scoring: lazily parse
+  rows, buffer them into chunks, score each chunk and write results
+  out, so ``repro score --stream`` never materialises its input.
+
+For a long-running daemon on top of these pieces (model registry,
+hot reload, JSON-over-HTTP endpoints) see :mod:`repro.server`.
 
 Quickstart
 ----------
@@ -50,14 +57,24 @@ from repro.serving.persistence import (
     loads_model,
     save_model,
 )
+from repro.serving.stream import (
+    iter_csv_chunks,
+    iter_csv_rows,
+    iter_stream_scores,
+    stream_score_csv,
+)
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "check_model_path",
     "dumps_model",
+    "iter_csv_chunks",
+    "iter_csv_rows",
     "iter_score_chunks",
+    "iter_stream_scores",
     "load_model",
     "loads_model",
     "save_model",
     "score_batch",
+    "stream_score_csv",
 ]

@@ -14,10 +14,17 @@ independent 1-D solve, and the scores are polished to their basin's
 exact stationary point (see :mod:`repro.core.projection`), so chunked
 and unchunked runs agree to float precision.
 
+Because chunks are independent, they can also be dispatched
+concurrently: ``score_batch(..., n_jobs=4)`` fans the chunks out over a
+thread pool.  NumPy releases the GIL inside the projection hot path
+(the distance-matrix build and the vectorised GSS arithmetic), so plain
+threads scale on multi-core serving boxes with zero extra memory copies
+— every worker writes its slice of the same preallocated output vector.
+
 Usage
 -----
 >>> from repro.serving import score_batch
->>> scores = score_batch(model, X_large, chunk_size=8192)
+>>> scores = score_batch(model, X_large, chunk_size=8192, n_jobs=4)
 
 For streaming pipelines that don't want the output in memory either::
 
@@ -27,6 +34,8 @@ For streaming pipelines that don't want the output in memory either::
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from typing import Iterator, Optional, Tuple
 
 import numpy as np
@@ -38,6 +47,30 @@ from repro.core.rpc import RankingPrincipalCurve
 #: default ``n_grid`` of 32, small enough for any serving box, large
 #: enough that per-chunk Python overhead is negligible.
 DEFAULT_CHUNK_SIZE = 4096
+
+
+def _validate_chunk_size(chunk_size: Optional[int]) -> int:
+    if chunk_size is None:
+        return DEFAULT_CHUNK_SIZE
+    chunk_size = int(chunk_size)
+    if chunk_size < 1:
+        raise ConfigurationError(
+            f"chunk_size must be >= 1, got {chunk_size}"
+        )
+    return chunk_size
+
+
+def _validate_n_jobs(n_jobs: Optional[int]) -> int:
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs == -1:
+        return os.cpu_count() or 1
+    if n_jobs < 1:
+        raise ConfigurationError(
+            f"n_jobs must be >= 1 or -1 (all cores), got {n_jobs}"
+        )
+    return n_jobs
 
 
 def iter_score_chunks(
@@ -52,7 +85,10 @@ def iter_score_chunks(
     model:
         A fitted :class:`RankingPrincipalCurve`.
     X:
-        Raw (unnormalised) observations, shape ``(n, d)``.
+        Raw (unnormalised) observations, shape ``(n, d)``.  An empty
+        input (``n == 0``) yields nothing; anything other than a 2-D
+        matrix is rejected up front rather than failing later inside
+        ``score_samples``.
     chunk_size:
         Rows per chunk; ``None`` uses :data:`DEFAULT_CHUNK_SIZE`.
 
@@ -61,14 +97,12 @@ def iter_score_chunks(
     ``(start, stop, scores)`` with ``scores`` of shape ``(stop - start,)``
     covering rows ``X[start:stop]``, in order.
     """
-    if chunk_size is None:
-        chunk_size = DEFAULT_CHUNK_SIZE
-    chunk_size = int(chunk_size)
-    if chunk_size < 1:
-        raise ConfigurationError(
-            f"chunk_size must be >= 1, got {chunk_size}"
-        )
+    chunk_size = _validate_chunk_size(chunk_size)
     X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ConfigurationError(
+            f"X must be 2-D (objects x attributes), got ndim={X.ndim}"
+        )
     for start in range(0, X.shape[0], chunk_size):
         stop = min(start + chunk_size, X.shape[0])
         yield start, stop, model.score_samples(X[start:stop])
@@ -78,19 +112,57 @@ def score_batch(
     model: RankingPrincipalCurve,
     X: np.ndarray,
     chunk_size: Optional[int] = None,
+    n_jobs: Optional[int] = None,
 ) -> np.ndarray:
     """Score every row of ``X`` with bounded peak memory.
 
     Equivalent to ``model.score_samples(X)`` but processed
     ``chunk_size`` rows at a time.  Returns scores in ``[0, 1]``,
     shape ``(n,)``, aligned with the rows of ``X``.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`RankingPrincipalCurve`.
+    X:
+        Raw (unnormalised) observations, shape ``(n, d)``.
+    chunk_size:
+        Rows per chunk; ``None`` uses :data:`DEFAULT_CHUNK_SIZE`.
+    n_jobs:
+        Worker threads for chunk dispatch.  ``None`` or ``1`` scores
+        chunks serially; ``-1`` uses every core.  Scores are identical
+        regardless of ``n_jobs`` — chunk boundaries do not move, each
+        worker writes a disjoint slice of the output, and the per-chunk
+        arithmetic is untouched.
     """
     X = np.asarray(X, dtype=float)
     if X.ndim != 2:
         raise ConfigurationError(
             f"X must be 2-D (objects x attributes), got ndim={X.ndim}"
         )
+    n_jobs = _validate_n_jobs(n_jobs)
     out = np.empty(X.shape[0])
-    for start, stop, scores in iter_score_chunks(model, X, chunk_size):
-        out[start:stop] = scores
+    if n_jobs == 1:
+        for start, stop, scores in iter_score_chunks(model, X, chunk_size):
+            out[start:stop] = scores
+        return out
+
+    chunk_size = _validate_chunk_size(chunk_size)
+    spans = [
+        (start, min(start + chunk_size, X.shape[0]))
+        for start in range(0, X.shape[0], chunk_size)
+    ]
+    if not spans:
+        return out
+
+    def _score_span(span: Tuple[int, int]) -> None:
+        start, stop = span
+        out[start:stop] = model.score_samples(X[start:stop])
+
+    with ThreadPoolExecutor(
+        max_workers=min(n_jobs, len(spans))
+    ) as pool:
+        # Consume the iterator to surface worker exceptions here.
+        for _ in pool.map(_score_span, spans):
+            pass
     return out

@@ -1,0 +1,245 @@
+"""Incremental CSV scoring: read, score and write without materialising.
+
+:func:`repro.data.loaders.load_csv` reads a whole file into one
+``(n, d)`` matrix before anything is scored — fine for the paper's
+hundreds of rows, wrong for a serving pipeline fed multi-gigabyte
+exports.  This module is the streaming counterpart: rows flow through a
+fixed-size buffer, so peak memory is ``O(chunk_size * d)`` no matter
+how long the file is.
+
+The pipeline has four small stages, each usable on its own:
+
+1. :func:`iter_csv_rows` — lazily parse a headered CSV into
+   ``(label, values)`` pairs, with the same validation (and the same
+   ``file:line`` error messages) as :func:`load_csv`;
+2. :func:`iter_csv_chunks` — buffer those rows into
+   :class:`~repro.data.loaders.TabularData` chunks;
+3. :func:`iter_stream_scores` — push each chunk through
+   :func:`~repro.serving.batch.score_batch` (which walks
+   ``iter_score_chunks``, optionally over ``n_jobs`` threads),
+   yielding ``(labels, scores)`` per chunk;
+4. :func:`stream_score_csv` — write ``label,score`` rows out
+   incrementally, in input order.
+
+Chunk boundaries here are the same multiples of ``chunk_size`` that
+:func:`~repro.serving.batch.score_batch` uses, so the streamed scores
+are bit-identical to ``score_batch(model, load_csv(path).X,
+chunk_size)`` — asserted in ``tests/test_serving_stream.py``.  (Scores
+across *different* chunkings agree to float precision, not bit-for-bit:
+the vectorised GSS loop iterates until every row in the chunk
+converges.)  ``repro score --stream`` rides this pipeline and produces
+byte-identical output to the in-memory path at the same chunk size.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import DataValidationError
+from repro.core.rpc import RankingPrincipalCurve
+from repro.data.loaders import TabularData, resolve_csv_columns
+
+
+def iter_csv_rows(
+    path: str | pathlib.Path,
+    label_column: Optional[str] = None,
+    attribute_columns: Optional[Sequence[str]] = None,
+    delimiter: str = ",",
+) -> Iterator[Tuple[str, np.ndarray]]:
+    """Lazily yield ``(label, values)`` pairs from a headered CSV.
+
+    The file is parsed one row at a time — nothing beyond the current
+    row is held in memory.  Validation matches :func:`load_csv`: ragged
+    rows and non-numeric cells raise :class:`DataValidationError` with
+    the offending ``file:line`` position.  Blank lines are skipped.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    label_column:
+        Header of the identifier column; defaults to the first column.
+    attribute_columns:
+        Headers to use as attributes, in order; defaults to every
+        non-label column.
+    delimiter:
+        Field separator.
+    """
+    path = pathlib.Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataValidationError(f"{path} is empty") from None
+        header, label_idx, attr_idx, _ = resolve_csv_columns(
+            header, label_column, attribute_columns
+        )
+        n_fields = len(header)
+        for line_no, row in enumerate(reader, start=2):
+            if not row or not any(cell.strip() for cell in row):
+                continue
+            if len(row) != n_fields:
+                raise DataValidationError(
+                    f"{path}:{line_no}: expected {n_fields} fields, got "
+                    f"{len(row)}"
+                )
+            try:
+                values = np.array(
+                    [float(row[i]) for i in attr_idx], dtype=float
+                )
+            except ValueError as exc:
+                raise DataValidationError(
+                    f"{path}:{line_no}: non-numeric attribute value ({exc})"
+                ) from None
+            yield row[label_idx].strip(), values
+
+
+def iter_csv_chunks(
+    path: str | pathlib.Path,
+    chunk_size: Optional[int] = None,
+    label_column: Optional[str] = None,
+    attribute_columns: Optional[Sequence[str]] = None,
+    delimiter: str = ",",
+) -> Iterator[TabularData]:
+    """Buffer :func:`iter_csv_rows` into :class:`TabularData` chunks.
+
+    Every chunk except possibly the last holds exactly ``chunk_size``
+    rows (``None`` uses the batch-scoring default).  A file with a
+    header but no data rows raises :class:`DataValidationError`, the
+    same contract as :func:`load_csv`.
+    """
+    from repro.serving.batch import _validate_chunk_size
+
+    chunk_size = _validate_chunk_size(chunk_size)
+    path = pathlib.Path(path)
+    # Resolve the attribute names up front so an empty selection or a
+    # bad header fails on the first ``next()``, before any row is read.
+    with path.open(newline="") as handle:
+        try:
+            header = next(csv.reader(handle, delimiter=delimiter))
+        except StopIteration:
+            raise DataValidationError(f"{path} is empty") from None
+    _, _, _, names = resolve_csv_columns(
+        header, label_column, attribute_columns
+    )
+
+    labels: List[str] = []
+    rows: List[np.ndarray] = []
+    n_rows = 0
+    for label, values in iter_csv_rows(
+        path,
+        label_column=label_column,
+        attribute_columns=attribute_columns,
+        delimiter=delimiter,
+    ):
+        labels.append(label)
+        rows.append(values)
+        n_rows += 1
+        if len(rows) == chunk_size:
+            yield TabularData(
+                labels=labels,
+                X=np.asarray(rows, dtype=float),
+                attribute_names=list(names),
+            )
+            labels, rows = [], []
+    if rows:
+        yield TabularData(
+            labels=labels,
+            X=np.asarray(rows, dtype=float),
+            attribute_names=list(names),
+        )
+    if n_rows == 0:
+        raise DataValidationError(f"{path} has a header but no data rows")
+
+
+def iter_stream_scores(
+    model: RankingPrincipalCurve,
+    path: str | pathlib.Path,
+    chunk_size: Optional[int] = None,
+    label_column: Optional[str] = None,
+    delimiter: str = ",",
+    n_jobs: Optional[int] = None,
+) -> Iterator[Tuple[List[str], np.ndarray]]:
+    """Yield ``(labels, scores)`` per buffered chunk of a CSV, in order.
+
+    Attribute columns are selected and ordered by the model's stored
+    ``feature_names_`` when present (the same convention as the
+    in-memory ``repro score`` path), so a CSV with extra or reordered
+    columns scores correctly.  A width mismatch against the model's
+    direction vector raises :class:`DataValidationError` on the first
+    chunk, before any scores are produced.
+
+    With ``n_jobs > 1`` the reader buffers ``chunk_size * n_jobs`` rows
+    per yield and fans the projection chunks out over threads (see
+    :func:`score_batch`).  Peak memory grows to
+    ``O(chunk_size * n_jobs * d)`` but the chunk boundaries stay the
+    same multiples of ``chunk_size``, so the scores remain
+    bit-identical to the serial path.
+    """
+    from repro.serving.batch import (
+        _validate_chunk_size,
+        _validate_n_jobs,
+        score_batch,
+    )
+
+    path = pathlib.Path(path)
+    chunk_size = _validate_chunk_size(chunk_size)
+    n_jobs = _validate_n_jobs(n_jobs)
+    for chunk in iter_csv_chunks(
+        path,
+        chunk_size=chunk_size * n_jobs,
+        label_column=label_column,
+        attribute_columns=model.feature_names_,
+        delimiter=delimiter,
+    ):
+        if chunk.X.shape[1] != model.alpha.size:
+            raise DataValidationError(
+                f"model expects {model.alpha.size} attributes but "
+                f"{path} provides {chunk.X.shape[1]}"
+            )
+        yield chunk.labels, score_batch(
+            model, chunk.X, chunk_size=chunk_size, n_jobs=n_jobs
+        )
+
+
+def stream_score_csv(
+    model: RankingPrincipalCurve,
+    csv_path: str | pathlib.Path,
+    output_path: str | pathlib.Path,
+    chunk_size: Optional[int] = None,
+    label_column: Optional[str] = None,
+    delimiter: str = ",",
+    n_jobs: Optional[int] = None,
+) -> int:
+    """Score ``csv_path`` end to end, writing ``label,score`` rows.
+
+    The incremental terminus of the streaming pipeline: each scored
+    chunk is flushed to ``output_path`` before the next chunk of input
+    is read, so neither the input matrix nor the score vector is ever
+    fully resident.  Rows are written in input order with
+    shortest-round-trip float ``repr`` (the scores reload exactly).
+
+    Returns the number of data rows scored.
+    """
+    output_path = pathlib.Path(output_path)
+    n_scored = 0
+    with output_path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(["label", "score"])
+        for labels, scores in iter_stream_scores(
+            model,
+            csv_path,
+            chunk_size=chunk_size,
+            label_column=label_column,
+            delimiter=delimiter,
+            n_jobs=n_jobs,
+        ):
+            for label, score in zip(labels, scores):
+                writer.writerow([label, repr(float(score))])
+            n_scored += len(labels)
+    return n_scored

@@ -44,6 +44,68 @@ class TestParser:
             parser.parse_args(["demo", "planets"])
 
 
+class TestServeParser:
+    def test_serve_arguments(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "serve",
+                "--model", "wellbeing=m.json",
+                "--model", "journals=j.npz",
+                "--port", "9001",
+                "--workers", "4",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.models == ["wellbeing=m.json", "journals=j.npz"]
+        assert args.port == 9001
+        assert args.workers == 4
+        assert args.host == "127.0.0.1"
+
+    def test_serve_requires_a_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_model_spec_parsing(self):
+        from repro.cli import parse_model_specs
+
+        assert parse_model_specs(["a=x.json", "b=y.npz"]) == [
+            ("a", "x.json"),
+            ("b", "y.npz"),
+        ]
+
+    def test_model_spec_with_equals_in_path(self):
+        from repro.cli import parse_model_specs
+
+        assert parse_model_specs(["m=dir=weird/x.json"]) == [
+            ("m", "dir=weird/x.json")
+        ]
+
+    def test_bad_model_specs_rejected(self):
+        from repro.core.exceptions import ConfigurationError
+        from repro.cli import parse_model_specs
+
+        for bad in (["nameonly"], ["=path.json"], ["name="]):
+            with pytest.raises(ConfigurationError, match="NAME=PATH"):
+                parse_model_specs(bad)
+        with pytest.raises(ConfigurationError, match="twice"):
+            parse_model_specs(["a=x.json", "a=y.json"])
+
+    def test_serve_missing_model_file_is_reported(self, capsys):
+        code = main(["serve", "--model", "m=/does/not/exist.json"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_save_warm_start_default_and_negation(self):
+        parser = build_parser()
+        base = ["save", "d.csv", "--alpha", "+a", "--model", "m.json"]
+        assert parser.parse_args(base).warm_start is True
+        assert (
+            parser.parse_args(base + ["--no-warm-start"]).warm_start
+            is False
+        )
+
+
 class TestRankCommand:
     def test_ranks_and_writes_output(self, ranking_csv, tmp_path, capsys):
         path, cloud = ranking_csv

@@ -1,0 +1,507 @@
+"""End-to-end tests for the scoring daemon and its model registry.
+
+The server under test is the real :class:`ScoringHTTPServer` bound to
+an ephemeral port and driven over actual sockets with :mod:`urllib` —
+no mocked handlers — so these tests pin the full contract: routing,
+JSON bodies, the 4xx taxonomy, hot reload, and metrics accounting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import urllib.error
+import urllib.request
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import RankingPrincipalCurve
+from repro.core.exceptions import ConfigurationError
+from repro.data.synthetic import sample_monotone_cloud
+from repro.server import (
+    ModelRegistry,
+    ScoringHTTPServer,
+    ServerMetrics,
+    UnknownModelError,
+)
+from repro.serving import save_model, score_batch
+
+ALPHA = np.array([1.0, 1.0, -1.0])
+
+
+def _fit(seed: int, n: int = 40) -> tuple[RankingPrincipalCurve, np.ndarray]:
+    cloud = sample_monotone_cloud(alpha=ALPHA, n=n, seed=seed, noise=0.02)
+    model = RankingPrincipalCurve(alpha=ALPHA, random_state=seed, n_restarts=1)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        model.fit(cloud.X)
+    return model, cloud.X
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    return _fit(seed=3)
+
+
+@pytest.fixture(scope="module")
+def served(fitted, tmp_path_factory):
+    """A live daemon on an ephemeral port serving one saved model."""
+    model, X = fitted
+    path = tmp_path_factory.mktemp("models") / "demo.json"
+    save_model(model, path, feature_names=["a", "b", "c"])
+    registry = ModelRegistry()
+    registry.register("demo", path)
+    server = ScoringHTTPServer(("127.0.0.1", 0), registry)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", registry, path, model, X
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _get(url: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _post(url: str, payload, raw: bytes | None = None) -> tuple[int, dict]:
+    data = raw if raw is not None else json.dumps(payload).encode()
+    request = urllib.request.Request(url, data=data, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        base, *_ = served
+        status, body = _get(base + "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["models"] == ["demo"]
+
+    def test_models_listing(self, served):
+        base, _, path, *_ = served
+        status, body = _get(base + "/v1/models")
+        assert status == 200
+        (entry,) = body["models"]
+        assert entry["name"] == "demo"
+        assert entry["path"] == str(path)
+        assert entry["format"] == "json"
+        assert entry["fitted"] is True
+        assert entry["n_attributes"] == 3
+        assert entry["feature_names"] == ["a", "b", "c"]
+        assert entry["last_error"] is None
+
+    def test_single_row_score(self, served):
+        base, _, _, model, X = served
+        status, body = _post(
+            base + "/v1/models/demo/score", {"row": X[0].tolist()}
+        )
+        assert status == 200
+        assert body["model"] == "demo"
+        assert body["n"] == 1
+        # JSON floats survive the round trip exactly (repr-based), so
+        # the served score equals a local single-row solve to the bit.
+        assert body["score"] == model.score_samples(X[:1])[0]
+        assert body["scores"] == [body["score"]]
+
+    def test_batch_score_matches_score_batch(self, served):
+        base, _, _, model, X = served
+        status, body = _post(
+            base + "/v1/models/demo/score", {"rows": X.tolist()}
+        )
+        assert status == 200
+        assert body["n"] == X.shape[0]
+        np.testing.assert_array_equal(
+            np.asarray(body["scores"]), score_batch(model, X)
+        )
+
+    def test_rank_endpoint(self, served):
+        base, _, _, model, X = served
+        labels = [f"obj{i}" for i in range(5)]
+        status, body = _post(
+            base + "/v1/models/demo/rank",
+            {"rows": X[:5].tolist(), "labels": labels},
+        )
+        assert status == 200
+        ranking = body["ranking"]
+        assert [r["position"] for r in ranking] == [1, 2, 3, 4, 5]
+        assert sorted(r["label"] for r in ranking) == sorted(labels)
+        scores = [r["score"] for r in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_rank_without_labels_uses_indices(self, served):
+        base, *_ = served
+        _, _, _, _, X = served
+        status, body = _post(
+            base + "/v1/models/demo/rank", {"rows": X[:3].tolist()}
+        )
+        assert status == 200
+        assert sorted(r["label"] for r in body["ranking"]) == ["0", "1", "2"]
+
+    def test_empty_batch_is_a_noop(self, served):
+        base, *_ = served
+        status, body = _post(base + "/v1/models/demo/score", {"rows": []})
+        assert status == 200
+        assert body["n"] == 0
+        assert body["scores"] == []
+
+
+class TestErrorContract:
+    def test_malformed_json_is_400(self, served):
+        base, *_ = served
+        status, body = _post(
+            base + "/v1/models/demo/score", None, raw=b"{not json"
+        )
+        assert status == 400
+        assert "malformed JSON" in body["error"]
+
+    def test_non_object_body_is_400(self, served):
+        base, *_ = served
+        status, body = _post(base + "/v1/models/demo/score", [1, 2, 3])
+        assert status == 400
+        assert "JSON object" in body["error"]
+
+    def test_missing_row_keys_is_400(self, served):
+        base, *_ = served
+        status, body = _post(base + "/v1/models/demo/score", {"x": 1})
+        assert status == 400
+        assert "'row' or 'rows'" in body["error"]
+
+    def test_both_row_keys_is_400(self, served):
+        base, *_ = served
+        status, _ = _post(
+            base + "/v1/models/demo/score",
+            {"row": [1, 2, 3], "rows": [[1, 2, 3]]},
+        )
+        assert status == 400
+
+    def test_non_numeric_rows_is_400(self, served):
+        base, *_ = served
+        status, body = _post(
+            base + "/v1/models/demo/score", {"rows": [["a", "b", "c"]]}
+        )
+        assert status == 400
+
+    def test_ragged_rows_is_400(self, served):
+        base, *_ = served
+        status, _ = _post(
+            base + "/v1/models/demo/score", {"rows": [[1, 2, 3], [1, 2]]}
+        )
+        assert status == 400
+
+    def test_nested_row_is_400(self, served):
+        base, *_ = served
+        status, body = _post(
+            base + "/v1/models/demo/score", {"row": [[1, 2, 3]]}
+        )
+        assert status == 400
+        assert "flat list" in body["error"]
+
+    def test_unknown_model_is_404(self, served):
+        base, *_ = served
+        status, body = _post(
+            base + "/v1/models/missing/score", {"row": [1, 2, 3]}
+        )
+        assert status == 404
+        assert "unknown model" in body["error"]
+        assert "demo" in body["error"]
+
+    def test_wrong_attribute_count_is_422(self, served):
+        base, *_ = served
+        status, body = _post(
+            base + "/v1/models/demo/score", {"row": [1.0, 2.0]}
+        )
+        assert status == 422
+        assert "2 attributes" in body["error"]
+
+    def test_labels_on_score_endpoint_is_400(self, served):
+        base, *_ = served
+        status, body = _post(
+            base + "/v1/models/demo/score",
+            {"rows": [[1, 2, 3]], "labels": ["x"]},
+        )
+        assert status == 400
+        assert "rank" in body["error"]
+        # The same rule holds for an empty batch.
+        status, _ = _post(
+            base + "/v1/models/demo/score", {"rows": [], "labels": ["x"]}
+        )
+        assert status == 400
+
+    def test_labels_length_checked_for_empty_batch(self, served):
+        base, *_ = served
+        status, body = _post(
+            base + "/v1/models/demo/rank", {"rows": [], "labels": ["x"]}
+        )
+        assert status == 400
+        assert "per row" in body["error"]
+
+    def test_mismatched_labels_is_400(self, served):
+        base, *_ = served
+        status, _ = _post(
+            base + "/v1/models/demo/rank",
+            {"rows": [[1, 2, 3]], "labels": ["x", "y"]},
+        )
+        assert status == 400
+
+    def test_unknown_route_is_404(self, served):
+        base, *_ = served
+        assert _get(base + "/v2/nothing")[0] == 404
+        assert _post(base + "/v1/models/demo/explain", {"row": [1]})[0] == 404
+
+    def test_get_on_scoring_endpoint_is_405(self, served):
+        base, *_ = served
+        request = urllib.request.Request(base + "/v1/models/demo/score")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 405
+        assert excinfo.value.headers["Allow"] == "POST"
+
+    def test_negative_content_length_is_400(self, served):
+        # A raw socket is needed: urllib refuses to send a negative
+        # Content-Length. read(-1) must not hang the handler thread.
+        import socket
+
+        base, *_ = served
+        host, port = base.removeprefix("http://").split(":")
+        with socket.create_connection((host, int(port)), timeout=10) as sock:
+            sock.sendall(
+                b"POST /v1/models/demo/score HTTP/1.1\r\n"
+                b"Host: x\r\nContent-Length: -1\r\n\r\n"
+            )
+            sock.settimeout(10)
+            response = sock.recv(4096).decode()
+        assert response.startswith("HTTP/1.1 400")
+
+    def test_unfitted_model_is_409(self, tmp_path):
+        path = tmp_path / "unfitted.json"
+        save_model(RankingPrincipalCurve(alpha=ALPHA), path)
+        registry = ModelRegistry()
+        registry.register("raw", path)
+        server = ScoringHTTPServer(("127.0.0.1", 0), registry)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            status, body = _post(
+                f"http://{host}:{port}/v1/models/raw/score",
+                {"row": [1.0, 2.0, 3.0]},
+            )
+            assert status == 409
+            assert "not been fitted" in body["error"]
+            # An empty probe batch must not report an unfitted model
+            # as servable.
+            status, _ = _post(
+                f"http://{host}:{port}/v1/models/raw/score", {"rows": []}
+            )
+            assert status == 409
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+
+class TestMetricsEndpoint:
+    def test_metrics_accumulate(self, served):
+        base, _, _, _, X = served
+        before = _get(base + "/metrics")[1]
+        _post(base + "/v1/models/demo/score", {"rows": X[:7].tolist()})
+        _post(base + "/v1/models/missing/score", {"row": [1, 2, 3]})
+        after = _get(base + "/metrics")[1]
+
+        score_key = "POST /v1/models/{name}/score"
+        delta = (
+            after["endpoints"][score_key]["requests"]
+            - before["endpoints"].get(score_key, {}).get("requests", 0)
+        )
+        assert delta == 2
+        assert (
+            after["rows_scored_total"] - before["rows_scored_total"] == 7
+        )
+        latency = after["endpoints"][score_key]["latency_ms"]
+        assert set(latency) == {"p50", "p90", "p99"}
+        assert latency["p50"] <= latency["p90"] <= latency["p99"]
+        assert after["endpoints"][score_key]["by_status"]["404"] >= 1
+        assert after["uptime_seconds"] >= 0.0
+        assert after["requests_total"] > before["requests_total"]
+
+
+class TestHotReload:
+    def test_mtime_change_swaps_the_model(self, served):
+        base, registry, path, model, X = served
+        replacement, _ = _fit(seed=11)
+        old_scores = np.asarray(
+            _post(
+                base + "/v1/models/demo/score", {"rows": X[:5].tolist()}
+            )[1]["scores"]
+        )
+        save_model(replacement, path, feature_names=["a", "b", "c"])
+        # Force a visible mtime step even on coarse filesystems.
+        stat = path.stat()
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 10**9))
+
+        status, body = _post(
+            base + "/v1/models/demo/score", {"rows": X[:5].tolist()}
+        )
+        assert status == 200
+        new_scores = np.asarray(body["scores"])
+        np.testing.assert_array_equal(
+            new_scores, replacement.score_batch(X[:5])
+        )
+        assert not np.array_equal(new_scores, old_scores)
+
+        (entry,) = registry.describe()
+        assert entry["loads"] >= 2
+        assert entry["last_error"] is None
+
+        # Restore the original model for any tests that follow.
+        save_model(model, path, feature_names=["a", "b", "c"])
+        stat = path.stat()
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 10**9))
+
+    def test_corrupt_reload_keeps_previous_model(self, tmp_path):
+        model, X = _fit(seed=5)
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        registry = ModelRegistry()
+        registry.register("m", path)
+        expected = model.score_samples(X[:3])
+
+        path.write_text("{ this is not a model }")
+        stat = path.stat()
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 10**9))
+
+        served_model = registry.get("m")
+        np.testing.assert_array_equal(
+            served_model.score_samples(X[:3]), expected
+        )
+        (entry,) = registry.describe()
+        assert entry["loads"] == 1
+        assert "reload failed" in entry["last_error"]
+
+        # A valid write afterwards recovers on the next access.
+        save_model(model, path)
+        stat = path.stat()
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 10**9))
+        registry.get("m")
+        (entry,) = registry.describe()
+        assert entry["loads"] == 2
+        assert entry["last_error"] is None
+
+
+class TestServerConstruction:
+    def test_misconfiguration_fails_at_boot(self):
+        # A daemon must not boot "healthy" and then 400 every request.
+        registry = ModelRegistry()
+        with pytest.raises(ConfigurationError, match="n_jobs"):
+            ScoringHTTPServer(("127.0.0.1", 0), registry, n_jobs=0)
+        with pytest.raises(ConfigurationError, match="chunk_size"):
+            ScoringHTTPServer(("127.0.0.1", 0), registry, chunk_size=0)
+
+
+class TestModelRegistry:
+    def test_unknown_name_raises(self):
+        registry = ModelRegistry()
+        with pytest.raises(UnknownModelError, match="unknown model"):
+            registry.get("nope")
+
+    def test_register_rejects_bad_suffix(self, tmp_path):
+        registry = ModelRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.register("m", tmp_path / "model.pickle")
+
+    def test_contains_len_names(self, fitted, tmp_path):
+        model, _ = fitted
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        registry = ModelRegistry()
+        registry.register("b", path)
+        registry.register("a", path)
+        assert len(registry) == 2
+        assert "a" in registry and "nope" not in registry
+        assert registry.names() == ["a", "b"]
+
+    def test_check_mtime_off_never_reloads(self, fitted, tmp_path):
+        model, X = fitted
+        path = tmp_path / "m.json"
+        save_model(model, path)
+        registry = ModelRegistry(check_mtime=False)
+        registry.register("m", path)
+        expected = registry.get("m").score_samples(X[:2])
+        replacement, _ = _fit(seed=13)
+        save_model(replacement, path)
+        stat = path.stat()
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 10**9))
+        np.testing.assert_array_equal(
+            registry.get("m").score_samples(X[:2]), expected
+        )
+        (entry,) = registry.describe()
+        assert entry["loads"] == 1
+
+
+class TestServerMetricsUnit:
+    def test_snapshot_shape(self):
+        metrics = ServerMetrics(window=8)
+        for i in range(20):
+            metrics.observe("GET /x", 200, 0.001 * (i + 1), rows=2)
+        metrics.observe("GET /x", 500, 0.5)
+        snap = metrics.snapshot()
+        assert snap["requests_total"] == 21
+        assert snap["rows_scored_total"] == 40
+        endpoint = snap["endpoints"]["GET /x"]
+        assert endpoint["requests"] == 21
+        assert endpoint["by_status"] == {"200": 20, "500": 1}
+        # Window keeps only the last 8 observations.
+        assert endpoint["latency_ms"]["p99"] <= 510.0
+        assert metrics.rows_scored == 40
+
+    def test_concurrent_observations(self):
+        metrics = ServerMetrics()
+
+        def hammer():
+            for _ in range(200):
+                metrics.observe("POST /y", 200, 0.001, rows=1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snap = metrics.snapshot()
+        assert snap["requests_total"] == 1600
+        assert snap["rows_scored_total"] == 1600
+
+
+class TestConcurrentScoring:
+    def test_parallel_clients_get_consistent_answers(self, served):
+        base, _, _, model, X = served
+        expected = score_batch(model, X)
+        results: list[np.ndarray] = [None] * 6  # type: ignore[list-item]
+
+        def client(slot: int) -> None:
+            _, body = _post(
+                base + "/v1/models/demo/score", {"rows": X.tolist()}
+            )
+            results[slot] = np.asarray(body["scores"])
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        for got in results:
+            np.testing.assert_array_equal(got, expected)

@@ -226,6 +226,22 @@ class TestScoreBatch:
         with pytest.raises(ConfigurationError):
             score_batch(country_model, data.X, chunk_size=0)
 
+    def test_iter_chunks_rejects_non_2d(self, country_model):
+        # Same fail-fast contract as score_batch, instead of failing
+        # later inside score_samples mid-iteration.
+        with pytest.raises(ConfigurationError, match="must be 2-D"):
+            next(iter_score_chunks(country_model, np.zeros(5)))
+        with pytest.raises(ConfigurationError, match="must be 2-D"):
+            next(iter_score_chunks(country_model, np.zeros((2, 2, 2))))
+
+    def test_empty_input_handled_cleanly(self, country_model):
+        empty = np.empty((0, 4))
+        assert list(iter_score_chunks(country_model, empty)) == []
+        scores = score_batch(country_model, empty)
+        assert scores.shape == (0,)
+        scores = score_batch(country_model, empty, n_jobs=4)
+        assert scores.shape == (0,)
+
     def test_unfitted_model_raises(self):
         model = RankingPrincipalCurve(alpha=[1, 1])
         with pytest.raises(NotFittedError):
@@ -244,10 +260,61 @@ class TestScoreBatch:
         )
 
 
+class TestParallelDispatch:
+    """``n_jobs=`` fans chunks over threads without changing a bit."""
+
+    @pytest.mark.parametrize("n_jobs", [2, 4, -1])
+    def test_parallel_matches_serial_exactly(self, country_model, n_jobs):
+        data = load_countries()
+        rng = np.random.default_rng(1)
+        idx = rng.integers(0, data.X.shape[0], size=5000)
+        X = data.X[idx] * rng.uniform(0.95, 1.05, size=(5000, 1))
+        serial = score_batch(country_model, X, chunk_size=512)
+        parallel = score_batch(
+            country_model, X, chunk_size=512, n_jobs=n_jobs
+        )
+        # Chunk boundaries are identical and each worker writes its own
+        # disjoint slice, so parallel dispatch is bit-exact, not just
+        # close.
+        assert np.array_equal(serial, parallel)
+
+    def test_more_jobs_than_chunks(self, country_model):
+        data = load_countries()
+        serial = score_batch(country_model, data.X)
+        parallel = score_batch(country_model, data.X, n_jobs=16)
+        assert np.array_equal(serial, parallel)
+
+    def test_invalid_n_jobs(self, country_model):
+        data = load_countries()
+        with pytest.raises(ConfigurationError, match="n_jobs"):
+            score_batch(country_model, data.X, n_jobs=0)
+        with pytest.raises(ConfigurationError, match="n_jobs"):
+            score_batch(country_model, data.X, n_jobs=-2)
+
+    def test_worker_errors_propagate(self):
+        model = RankingPrincipalCurve(alpha=[1, 1])
+        with pytest.raises(NotFittedError):
+            score_batch(model, np.zeros((64, 2)), chunk_size=8, n_jobs=4)
+
+
+class TestWarmStartDefault:
+    """PR 2 flipped ``warm_start`` on by default (agreement ~1e-10)."""
+
+    def test_default_is_on(self):
+        assert RankingPrincipalCurve(alpha=[1, 1]).warm_start is True
+
+    def test_payloads_without_the_field_stay_cold(self):
+        # Models saved before the flag existed keep their original
+        # (cold-scan) behaviour when reloaded.
+        payload = RankingPrincipalCurve(alpha=[1, 1]).to_dict()
+        del payload["hyperparameters"]["warm_start"]
+        assert RankingPrincipalCurve.from_dict(payload).warm_start is False
+
+
 class TestWarmStartEndToEnd:
     def test_warm_model_round_trips_and_matches_cold(self, tmp_path):
         data = load_countries()
-        cold = _fit(data)
+        cold = _fit(data, warm_start=False)
         warm = _fit(data, warm_start=True)
         assert warm.trace_.final_objective == pytest.approx(
             cold.trace_.final_objective, abs=1e-8

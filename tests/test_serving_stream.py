@@ -1,0 +1,262 @@
+"""Streaming CSV scoring: parity with the in-memory path, bit for bit.
+
+The streaming pipeline buffers rows at the same multiples of
+``chunk_size`` that ``score_batch`` uses, so its scores are
+bit-identical to the in-memory path at the same chunk size — including
+through the CLI, where ``repro score --stream`` must produce
+byte-identical output files.
+"""
+
+from __future__ import annotations
+
+import csv
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import RankingPrincipalCurve
+from repro.cli import main
+from repro.core.exceptions import DataValidationError
+from repro.data.loaders import load_csv, save_csv
+from repro.data.synthetic import sample_monotone_cloud
+from repro.serving import (
+    iter_csv_chunks,
+    iter_csv_rows,
+    iter_stream_scores,
+    save_model,
+    score_batch,
+    stream_score_csv,
+)
+
+ALPHA = np.array([1.0, 1.0, -1.0])
+N_ROWS = 157  # deliberately not a multiple of any chunk size used below
+
+
+@pytest.fixture(scope="module")
+def workload(tmp_path_factory):
+    """A fitted model, its saved file, and a CSV of fresh rows."""
+    root = tmp_path_factory.mktemp("stream")
+    cloud = sample_monotone_cloud(alpha=ALPHA, n=N_ROWS, seed=9, noise=0.02)
+    model = RankingPrincipalCurve(alpha=ALPHA, random_state=0, n_restarts=1)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        model.fit(cloud.X)
+    labels = [f"row{i:03d}" for i in range(N_ROWS)]
+    csv_path = root / "fresh.csv"
+    save_csv(csv_path, labels, cloud.X, ["a", "b", "c"], label_column="id")
+    model_path = root / "model.json"
+    save_model(model, model_path, feature_names=["a", "b", "c"])
+    return model, model_path, csv_path, cloud.X, labels
+
+
+class TestIterCsvRows:
+    def test_matches_load_csv(self, workload):
+        _, _, csv_path, X, labels = workload
+        table = load_csv(csv_path, label_column="id")
+        rows = list(iter_csv_rows(csv_path, label_column="id"))
+        assert [label for label, _ in rows] == table.labels == labels
+        np.testing.assert_array_equal(
+            np.asarray([values for _, values in rows]), table.X
+        )
+
+    def test_column_selection_and_order(self, workload):
+        _, _, csv_path, X, _ = workload
+        rows = list(
+            iter_csv_rows(
+                csv_path, label_column="id", attribute_columns=["c", "a"]
+            )
+        )
+        np.testing.assert_array_equal(
+            np.asarray([v for _, v in rows]), X[:, [2, 0]]
+        )
+
+    def test_ragged_row_reports_line(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("id,a,b\nx,1,2\ny,1\n")
+        with pytest.raises(DataValidationError, match=r"ragged\.csv:3"):
+            list(iter_csv_rows(path))
+
+    def test_non_numeric_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("id,a,b\nx,1,2\ny,1,oops\n")
+        with pytest.raises(DataValidationError, match=r"bad\.csv:3"):
+            list(iter_csv_rows(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("id,a\nx,1\n\n  ,\ny,2\n")
+        # The whitespace-only row (", ") is skipped like load_csv does.
+        rows = list(iter_csv_rows(path))
+        assert [label for label, _ in rows] == ["x", "y"]
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataValidationError, match="is empty"):
+            list(iter_csv_rows(path))
+
+    def test_unknown_label_column_raises(self, workload):
+        _, _, csv_path, _, _ = workload
+        with pytest.raises(DataValidationError, match="label column"):
+            list(iter_csv_rows(csv_path, label_column="nope"))
+
+
+class TestIterCsvChunks:
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64, 157, 1000])
+    def test_chunks_cover_input_in_order(self, workload, chunk_size):
+        _, _, csv_path, X, labels = workload
+        chunks = list(
+            iter_csv_chunks(csv_path, chunk_size, label_column="id")
+        )
+        assert all(
+            chunk.X.shape[0] == chunk_size for chunk in chunks[:-1]
+        )
+        assert sum(chunk.X.shape[0] for chunk in chunks) == N_ROWS
+        np.testing.assert_array_equal(
+            np.vstack([chunk.X for chunk in chunks]), X
+        )
+        assert [
+            label for chunk in chunks for label in chunk.labels
+        ] == labels
+        assert chunks[0].attribute_names == ["a", "b", "c"]
+
+    def test_no_data_rows_raises_like_load_csv(self, tmp_path):
+        path = tmp_path / "header_only.csv"
+        path.write_text("id,a,b\n")
+        with pytest.raises(DataValidationError, match="no data rows"):
+            list(iter_csv_chunks(path, 8))
+
+    def test_bad_chunk_size(self, workload):
+        from repro.core.exceptions import ConfigurationError
+
+        _, _, csv_path, _, _ = workload
+        with pytest.raises(ConfigurationError, match="chunk_size"):
+            list(iter_csv_chunks(csv_path, 0))
+
+
+class TestStreamScores:
+    @pytest.mark.parametrize("chunk_size", [13, 64, None])
+    def test_bit_identical_to_score_batch(self, workload, chunk_size):
+        model, _, csv_path, X, labels = workload
+        reference = score_batch(model, X, chunk_size=chunk_size)
+        streamed_labels: list[str] = []
+        streamed = []
+        for chunk_labels, chunk_scores in iter_stream_scores(
+            model, csv_path, chunk_size=chunk_size, label_column="id"
+        ):
+            streamed_labels.extend(chunk_labels)
+            streamed.append(chunk_scores)
+        assert streamed_labels == labels
+        np.testing.assert_array_equal(np.concatenate(streamed), reference)
+
+    def test_n_jobs_streams_bit_identically(self, workload):
+        # Parallel streaming buffers chunk_size * n_jobs rows but the
+        # chunk boundaries stay multiples of chunk_size, so scores are
+        # bit-identical to the serial stream and to score_batch.
+        model, _, csv_path, X, labels = workload
+        reference = score_batch(model, X, chunk_size=20)
+        streamed_labels: list[str] = []
+        streamed = []
+        for chunk_labels, chunk_scores in iter_stream_scores(
+            model, csv_path, chunk_size=20, label_column="id", n_jobs=3
+        ):
+            streamed_labels.extend(chunk_labels)
+            streamed.append(chunk_scores)
+        assert streamed_labels == labels
+        np.testing.assert_array_equal(np.concatenate(streamed), reference)
+
+    def test_reordered_csv_columns_score_identically(self, workload, tmp_path):
+        # feature_names_ (stored in the model file) select and order
+        # columns, so a CSV with shuffled columns streams to the same
+        # scores.
+        from repro.serving import load_model
+
+        model, model_path, _, X, labels = workload
+        served = load_model(model_path)
+        assert served.feature_names_ == ["a", "b", "c"]
+        shuffled = tmp_path / "shuffled.csv"
+        save_csv(
+            shuffled, labels, X[:, [2, 0, 1]], ["c", "a", "b"],
+            label_column="id",
+        )
+        streamed = np.concatenate(
+            [s for _, s in iter_stream_scores(served, shuffled, 32)]
+        )
+        np.testing.assert_array_equal(
+            streamed, score_batch(model, X, chunk_size=32)
+        )
+
+    def test_width_mismatch_raises_before_scoring(self, workload, tmp_path):
+        model, _, _, X, labels = workload
+        model_no_names = RankingPrincipalCurve.from_dict(model.to_dict())
+        model_no_names.feature_names_ = None
+        narrow = tmp_path / "narrow.csv"
+        save_csv(narrow, labels, X[:, :2], ["a", "b"], label_column="id")
+        with pytest.raises(DataValidationError, match="model expects 3"):
+            next(iter_stream_scores(model_no_names, narrow, 32))
+
+
+class TestStreamScoreCsv:
+    def test_writes_scores_in_input_order(self, workload, tmp_path):
+        model, _, csv_path, X, labels = workload
+        out = tmp_path / "scores.csv"
+        n = stream_score_csv(
+            model, csv_path, out, chunk_size=50, label_column="id"
+        )
+        assert n == N_ROWS
+        with out.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert [row["label"] for row in rows] == labels
+        written = np.asarray([float(row["score"]) for row in rows])
+        # repr round-trip: the written text reloads to the exact float.
+        np.testing.assert_array_equal(
+            written, score_batch(model, X, chunk_size=50)
+        )
+
+
+class TestCliStream:
+    @pytest.fixture()
+    def outputs(self, workload, tmp_path, capsys):
+        """Run `repro score` with and without --stream; capture both."""
+        _, model_path, csv_path, _, _ = workload
+        plain_out = tmp_path / "plain.csv"
+        stream_out = tmp_path / "stream.csv"
+        base = [
+            "score", str(model_path), str(csv_path),
+            "--label-column", "id", "--chunk-size", "25", "--top", "3",
+        ]
+        assert main(base + ["--output", str(plain_out)]) == 0
+        plain_stdout = capsys.readouterr().out
+        assert (
+            main(base + ["--stream", "--output", str(stream_out)]) == 0
+        )
+        stream_stdout = capsys.readouterr().out
+        return plain_out, stream_out, plain_stdout, stream_stdout
+
+    def test_stream_output_is_byte_identical(self, outputs):
+        plain_out, stream_out, plain_stdout, stream_stdout = outputs
+        assert stream_out.read_bytes() == plain_out.read_bytes()
+        # stdout matches apart from the final "written to <path>" line,
+        # which names the (necessarily different) output files.
+        plain_lines = plain_stdout.splitlines()
+        stream_lines = stream_stdout.splitlines()
+        assert stream_lines[:-1] == plain_lines[:-1]
+        assert stream_lines[-1].endswith("stream.csv")
+
+    def test_stream_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["score", "m.json", "x.csv", "--stream", "--jobs", "4"]
+        )
+        assert args.stream is True
+        assert args.jobs == 4
+
+    def test_stream_bad_csv_is_reported(self, workload, tmp_path, capsys):
+        _, model_path, _, _, _ = workload
+        bad = tmp_path / "bad.csv"
+        bad.write_text("id,a,b,c\nx,1,2,oops\n")
+        code = main(["score", str(model_path), str(bad), "--stream"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
