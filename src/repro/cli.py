@@ -13,6 +13,7 @@ Usage::
     python -m repro load model.json       # inspect a saved model
     python -m repro score model.json fresh.csv --output ranking.csv
     python -m repro score model.json huge.csv --stream --jobs 4
+    python -m repro score model.json huge.csv.gz --stream --top-k 10
 
     # long-running scoring daemon (JSON over HTTP)
     python -m repro serve --model wellbeing=model.json --port 8000
@@ -24,9 +25,11 @@ the full list to a CSV.  ``save`` fits the same way but persists the
 fitted model (JSON or ``.npz`` by suffix) instead of discarding it;
 ``score`` reloads such a model in a fresh process and scores new rows
 with chunked, bounded-memory batch projection — no refitting; with
-``--stream`` the CSV is read incrementally so inputs larger than
-memory score in ``O(chunk_size)`` space, and ``--jobs`` fans chunks
-out over worker threads.  ``serve`` keeps any number of saved models
+``--stream`` the CSV (gzipped or plain) is read incrementally so
+inputs larger than memory score in ``O(chunk_size)`` space, ``--jobs``
+fans chunks out over worker threads, and ``--top-k N`` folds the
+stream into a bounded heap so even the ranking list never
+materialises.  ``serve`` keeps any number of saved models
 resident behind an HTTP daemon (see :mod:`repro.server`) instead of
 paying a process start per scoring run.
 """
@@ -50,7 +53,7 @@ from repro.core.scoring import build_ranking_list
 from repro.data.loaders import load_csv, parse_alpha_spec, save_ranking_csv
 from repro.serving.batch import score_batch
 from repro.serving.persistence import check_model_path, load_model, save_model
-from repro.serving.stream import iter_stream_scores
+from repro.serving.stream import iter_stream_scores, stream_rank_topk
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -156,6 +159,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker threads for chunk dispatch (-1 = all cores)",
     )
+    score.add_argument(
+        "--top-k",
+        type=int,
+        default=None,
+        dest="top_k",
+        metavar="N",
+        help="streaming rank: keep only the best N rows in a bounded "
+        "heap so the full ranking never materialises (requires "
+        "--stream; prints and writes just those N rows)",
+    )
 
     serve = sub.add_parser(
         "serve", help="run the long-running HTTP scoring daemon"
@@ -195,14 +208,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _print_ranking(ranking, top: int, output: Optional[str]) -> None:
+def _print_ranking(
+    ranking, top: int, output: Optional[str], saved_as: str = "full ranking"
+) -> None:
     """Shared ranking display of the ``rank`` and ``score`` commands."""
     print(f"{'pos':>4}  {'score':>8}  label")
     for label, score in ranking.top(top):
         print(f"{ranking.position_of(label):>4}  {score:>8.4f}  {label}")
     if output:
         save_ranking_csv(output, ranking)
-        print(f"full ranking written to {output}")
+        print(f"{saved_as} written to {output}")
 
 
 def _run_rank(args: argparse.Namespace) -> int:
@@ -299,6 +314,33 @@ def _run_load(args: argparse.Namespace) -> int:
 
 def _run_score(args: argparse.Namespace) -> int:
     model = load_model(args.model_path)
+    if args.top_k is not None:
+        if not args.stream:
+            raise ConfigurationError(
+                "--top-k is a streaming rank mode; combine it with --stream"
+            )
+        # Bounded-heap rank: neither the input matrix nor the ranking
+        # list is ever materialised — only the k best entries survive.
+        top, n_rows = stream_rank_topk(
+            model,
+            args.csv_path,
+            args.top_k,
+            chunk_size=args.chunk_size,
+            label_column=args.label_column,
+            n_jobs=args.jobs,
+        )
+        print(
+            f"scored {n_rows} objects with saved model {args.model_path} "
+            f"(top {len(top)} kept)"
+        )
+        ranking = build_ranking_list(
+            np.asarray([score for _, score in top]),
+            labels=[label for label, _ in top],
+        )
+        _print_ranking(
+            ranking, len(top), args.output, saved_as=f"top-{len(top)} ranking"
+        )
+        return 0
     if args.stream:
         # Streaming path: the input matrix is never materialised —
         # only the (small) label and score vectors accumulate, so the

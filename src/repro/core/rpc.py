@@ -35,6 +35,7 @@ from repro.core.scoring import RankingList, build_ranking_list
 from repro.data.normalize import MinMaxNormalizer
 from repro.geometry.bezier import BezierCurve
 from repro.geometry.cubic import validate_direction_vector
+from repro.geometry.engine import ProjectionEngine
 from repro.geometry.monotonicity import check_rpc_constraints
 
 
@@ -128,6 +129,10 @@ class RankingPrincipalCurve:
         self.feature_names_: Optional[list[str]] = None
         self._normalizer: Optional[MinMaxNormalizer] = None
         self._fit_result: Optional[FitResult] = None
+        #: Lazily built ProjectionEngine for the fitted curve, shared by
+        #: every scoring call (and every scoring thread — it is
+        #: immutable) so chunked serving pays the curve setup once.
+        self._engine_cache: Optional[ProjectionEngine] = None
 
     # ------------------------------------------------------------------
     # Meta-rule capability declarations (rules 3 and 5)
@@ -228,7 +233,11 @@ class RankingPrincipalCurve:
         assert self._normalizer is not None
         X_unit = self._normalizer.transform(X)
         return project_points(
-            result.curve, X_unit, method=self.projection, n_grid=self.n_grid
+            result.curve,
+            X_unit,
+            method=self.projection,
+            n_grid=self.n_grid,
+            engine=self._projection_engine(result.curve),
         )
 
     def score_batch(
@@ -327,7 +336,11 @@ class RankingPrincipalCurve:
         assert self._normalizer is not None
         X_unit = self._normalizer.transform(X)
         s = project_points(
-            result.curve, X_unit, method=self.projection, n_grid=self.n_grid
+            result.curve,
+            X_unit,
+            method=self.projection,
+            n_grid=self.n_grid,
+            engine=self._projection_engine(result.curve),
         )
         residual = result.curve.projection_residuals(X_unit, s)
         ss_res = float(np.sum(residual**2))
@@ -456,6 +469,21 @@ class RankingPrincipalCurve:
         if self._fit_result is None:
             raise NotFittedError("RankingPrincipalCurve")
         return self._fit_result
+
+    def _projection_engine(self, curve: BezierCurve) -> ProjectionEngine:
+        """The cached per-curve projection engine (rebuilt on refit).
+
+        Validity is keyed on curve identity, so a refit (or reload)
+        that installs a new :class:`FitResult` invalidates the cache
+        automatically.  Benign under concurrency: the engine is
+        immutable, so the worst case is two threads building equivalent
+        engines and one winning the (atomic) attribute store.
+        """
+        engine = self._engine_cache
+        if engine is None or engine.curve is not curve:
+            engine = ProjectionEngine(curve)
+            self._engine_cache = engine
+        return engine
 
     def _validate(self, X: np.ndarray) -> np.ndarray:
         X = np.asarray(X, dtype=float)

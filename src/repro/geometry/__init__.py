@@ -5,6 +5,9 @@
 * :mod:`repro.geometry.bezier` — general-degree :class:`BezierCurve`
   with evaluation, hodograph, subdivision, arc length and point
   projection.
+* :mod:`repro.geometry.engine` — the polynomial-evaluation projection
+  engine: per-point squared-distance polynomials compiled once, every
+  solver iteration a batched Horner evaluation.
 * :mod:`repro.geometry.cubic` — the cubic (``k = 3``) specialisation
   the paper ranks with: pinned end points, Fig. 4 shape gallery.
 * :mod:`repro.geometry.monotonicity` — Proposition 1 constraint checks
@@ -20,6 +23,11 @@ from repro.geometry.bernstein import (
     power_vector,
 )
 from repro.geometry.bezier import BezierCurve
+from repro.geometry.engine import (
+    CompiledProjection,
+    ProjectionEngine,
+    squared_distance_coefficients,
+)
 from repro.geometry.fitting import (
     BezierFitResult,
     chord_length_parameters,
@@ -46,6 +54,8 @@ __all__ = [
     "M",
     "BezierCurve",
     "BezierFitResult",
+    "CompiledProjection",
+    "ProjectionEngine",
     "ViolationReport",
     "basic_shapes_2d",
     "bernstein_basis",
@@ -62,5 +72,6 @@ __all__ = [
     "linear_cubic",
     "pinned_endpoints",
     "power_vector",
+    "squared_distance_coefficients",
     "validate_direction_vector",
 ]

@@ -16,11 +16,27 @@ tests exercise.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from math import comb
 
 import numpy as np
 
 from repro.core.exceptions import ConfigurationError
+
+
+@lru_cache(maxsize=None)
+def binomial_coefficients(k: int) -> np.ndarray:
+    """Row ``k`` of Pascal's triangle, ``(C(k, 0), ..., C(k, k))``.
+
+    Cached per degree and returned read-only: the basis is rebuilt for
+    every curve evaluation, so the ``math.comb`` calls would otherwise
+    sit on the projection hot path.
+    """
+    if k < 0:
+        raise ConfigurationError(f"degree must be non-negative, got {k}")
+    row = np.array([comb(k, r) for r in range(k + 1)], dtype=float)
+    row.setflags(write=False)
+    return row
 
 
 def bernstein_basis(k: int, s: np.ndarray) -> np.ndarray:
@@ -39,14 +55,19 @@ def bernstein_basis(k: int, s: np.ndarray) -> np.ndarray:
     Array of shape ``(k + 1,) + s.shape`` where entry ``[r]`` holds
     ``B_r^k(s)``.
     """
-    if k < 0:
-        raise ConfigurationError(f"degree must be non-negative, got {k}")
+    binom = binomial_coefficients(k)
     s = np.asarray(s, dtype=float)
     one_minus = 1.0 - s
-    values = np.empty((k + 1,) + s.shape, dtype=float)
-    for r in range(k + 1):
-        values[r] = comb(k, r) * one_minus ** (k - r) * s**r
-    return values
+    # Power ladders built by repeated multiplication: ``k`` vectorised
+    # multiplies instead of ``2(k + 1)`` elementwise ``pow`` calls.
+    s_pow = np.empty((k + 1,) + s.shape, dtype=float)
+    omp_pow = np.empty_like(s_pow)
+    s_pow[0] = 1.0
+    omp_pow[0] = 1.0
+    for r in range(1, k + 1):
+        np.multiply(s_pow[r - 1], s, out=s_pow[r])
+        np.multiply(omp_pow[r - 1], one_minus, out=omp_pow[r])
+    return binom.reshape((k + 1,) + (1,) * s.ndim) * omp_pow[::-1] * s_pow
 
 
 def bernstein_design_matrix(k: int, s: np.ndarray) -> np.ndarray:
@@ -69,13 +90,24 @@ def bernstein_to_power_matrix(k: int) -> np.ndarray:
 
         ``M[r, j] = C(k, r) * C(k - r, j - r) * (-1)^(j - r)`` for
         ``j >= r`` and zero otherwise.
+
+    The matrix is cached per degree and returned read-only — the
+    projection engine converts control points to power coefficients on
+    every projection call, so rebuilding ``M`` from ``math.comb`` would
+    be pure per-call overhead.
     """
     if k < 0:
         raise ConfigurationError(f"degree must be non-negative, got {k}")
+    return _power_matrix_cached(k)
+
+
+@lru_cache(maxsize=None)
+def _power_matrix_cached(k: int) -> np.ndarray:
     M = np.zeros((k + 1, k + 1))
     for r in range(k + 1):
         for j in range(r, k + 1):
             M[r, j] = comb(k, r) * comb(k - r, j - r) * (-1.0) ** (j - r)
+    M.setflags(write=False)
     return M
 
 

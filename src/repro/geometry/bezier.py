@@ -23,8 +23,7 @@ from repro.geometry.bernstein import (
     bernstein_to_power_matrix,
     power_vector,
 )
-from repro.linalg.golden_section import golden_section_search_batch
-from repro.linalg.polyroots import batched_minimize_on_interval
+from repro.geometry.engine import ProjectionEngine, squared_distance_coefficients
 
 
 class BezierCurve:
@@ -225,11 +224,17 @@ class BezierCurve:
             ``"gss"`` — coarse grid scan plus batched Golden Section
             Search (the paper's choice); ``"roots"`` — exact
             minimisation of the squared-distance polynomial via its
-            stationary points (companion-matrix root finding).
+            stationary points (companion-matrix root finding).  Both
+            run on polynomials compiled once per call by the
+            projection engine (:mod:`repro.geometry.engine`) rather
+            than on repeated curve evaluations.
         n_grid:
             Grid resolution of the bracketing scan for ``"gss"``.
         tol:
-            Bracket tolerance for GSS.
+            Bracket tolerance for GSS.  The returned scores are
+            additionally Newton-polished onto their basin's stationary
+            point, so the effective accuracy is ~1e-14 regardless of
+            how coarse ``tol`` is.
 
         Returns
         -------
@@ -249,25 +254,20 @@ class BezierCurve:
         )
 
     def _project_gss(self, X: np.ndarray, n_grid: int, tol: float) -> np.ndarray:
-        grid = np.linspace(0.0, 1.0, n_grid)
-        curve_on_grid = self.evaluate(grid)  # (d, g)
-        # Squared distances, shape (n, g).
-        sq = (
-            np.sum(X**2, axis=1)[:, np.newaxis]
-            - 2.0 * X @ curve_on_grid
-            + np.sum(curve_on_grid**2, axis=0)[np.newaxis, :]
-        )
-        best = np.argmin(sq, axis=1)
-        step = 1.0 / (n_grid - 1)
-        lo = np.clip(grid[best] - step, 0.0, 1.0)
-        hi = np.clip(grid[best] + step, 0.0, 1.0)
-
-        def objective(s: np.ndarray) -> np.ndarray:
-            pts = self.evaluate(s)  # (d, n)
-            return np.sum((X.T - pts) ** 2, axis=0)
-
-        s_opt, _ = golden_section_search_batch(objective, lo, hi, tol=tol)
-        return s_opt
+        # Compile the per-point squared-distance polynomials once, then
+        # run the grid scan and every GSS iteration as batched Horner
+        # evaluations — no per-iteration Bernstein rebuild or
+        # control-point matmul (see :mod:`repro.geometry.engine`).
+        # GSS only locates the basin (its value comparisons bottom out
+        # at the ~eps*|coeffs| evaluation noise of the compiled
+        # distance, i.e. ~1e-8 in s); the Newton polish on the
+        # derivative polynomial then recovers the stationary point to
+        # ~1e-15, which matters for points lying on the curve itself.
+        compiled = ProjectionEngine(self).compile(X)
+        _, lo, hi = compiled.bracket(n_grid)
+        coarse_tol = max(tol, 1e-4)
+        s = compiled.solve_gss(lo, hi, tol=coarse_tol)
+        return compiled.polish(s, half_width=2.0 * coarse_tol)
 
     def _project_roots(self, X: np.ndarray) -> np.ndarray:
         # Squared distance ‖x - C z‖² is a polynomial of degree 2k in s;
@@ -275,28 +275,19 @@ class BezierCurve:
         # coefficient rows for all n points are assembled at once and the
         # stationary quintics solved with a single stacked
         # companion-matrix eigenvalue call (no Python-level point loop).
-        coeffs = self.distance_polynomials(X)
-        return batched_minimize_on_interval(coeffs, 0.0, 1.0)
+        return ProjectionEngine(self).compile(X).minimize_exact()
 
     def distance_polynomials(self, X: np.ndarray) -> np.ndarray:
         """Ascending coefficients of ``s -> ‖x_i − f(s)‖²`` for each row.
 
         Returns shape ``(n, 2k + 1)``: row ``i`` is the degree-``2k``
         squared-distance polynomial of point ``x_i``.  Shared between the
-        batched ``"roots"`` projection and diagnostic tooling.
+        batched ``"roots"`` projection, the projection engine and
+        diagnostic tooling (the expansion itself lives in
+        :func:`repro.geometry.engine.squared_distance_coefficients`).
         """
         X = np.asarray(X, dtype=float)
-        C = self.power_coefficients()  # (d, k+1)
-        k = self.degree
-        # Coefficients of f(s)·f(s) (degree 2k), independent of x.
-        quad_coeffs = np.zeros(2 * k + 1)
-        for a in range(k + 1):
-            for b in range(k + 1):
-                quad_coeffs[a + b] += float(C[:, a] @ C[:, b])
-        coeffs = np.tile(quad_coeffs, (X.shape[0], 1))
-        coeffs[:, : k + 1] += -2.0 * (X @ C)  # -2 x·f(s), degree k
-        coeffs[:, 0] += np.sum(X**2, axis=1)
-        return coeffs
+        return squared_distance_coefficients(self.power_coefficients(), X)
 
     # ------------------------------------------------------------------
     # Persistence

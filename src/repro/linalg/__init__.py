@@ -8,6 +8,8 @@ model:
   Section Search (the projection-step solver of Algorithm 1).
 * :mod:`repro.linalg.richardson` — the preconditioned Richardson
   control-point update of Eq.(27)–(28).
+* :mod:`repro.linalg.horner` — the batched Horner kernels every
+  projection-engine solver evaluates its compiled polynomials with.
 * :mod:`repro.linalg.polyroots` — companion-matrix real-root finding
   for the quintic first-order condition Eq.(20).
 * :mod:`repro.linalg.pseudoinverse` — the closed-form ``P = X (MZ)^+``
@@ -20,6 +22,7 @@ from repro.linalg.golden_section import (
     golden_section_search,
     golden_section_search_batch,
 )
+from repro.linalg.horner import horner_batch, horner_pointwise
 from repro.linalg.polyroots import (
     batched_minimize_on_interval,
     batched_real_roots,
@@ -51,6 +54,8 @@ __all__ = [
     "condition_number",
     "golden_section_search",
     "golden_section_search_batch",
+    "horner_batch",
+    "horner_pointwise",
     "minimize_polynomial_on_interval",
     "newton_polish",
     "optimal_step_size",

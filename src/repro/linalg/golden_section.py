@@ -12,7 +12,7 @@ projection step.
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -93,6 +93,7 @@ def golden_section_search_batch(
     hi: np.ndarray,
     tol: float = 1e-8,
     max_iter: int = 200,
+    pair_func: Optional[Callable[[np.ndarray], np.ndarray]] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Run ``n`` independent golden-section searches simultaneously.
 
@@ -109,11 +110,27 @@ def golden_section_search_batch(
         Per-search bracket endpoints, each shape ``(n,)``.
     tol, max_iter:
         As in :func:`golden_section_search`.
+    pair_func:
+        Optional fused objective for precompiled callers: receives both
+        initial interior points stacked as an ``(n, 2)`` array and
+        returns the ``(n, 2)`` objective values in one call — the
+        projection engine supplies a single batched Horner pass here.
+        When given, ``pair_func`` must compute exactly ``func``
+        column-wise; it is used for the bracket set-up evaluation
+        (``func`` still evaluates the loop's single fresh point).
 
     Returns
     -------
     (x, fx):
         Arrays of shape ``(n,)`` with per-search minimisers and values.
+
+    Notes
+    -----
+    The loop follows the textbook value-reuse scheme, vectorised: per
+    iteration exactly one fresh interior point is evaluated per search
+    (the surviving point's objective value is carried over, not
+    recomputed), so an iteration costs one ``func`` call over ``(n,)``
+    plus branch-free ``np.where`` bookkeeping.
     """
     lo = np.asarray(lo, dtype=float)
     hi = np.asarray(hi, dtype=float)
@@ -129,25 +146,35 @@ def golden_section_search_batch(
     h = b - a
     c = a + INV_PHI2 * h
     d = a + INV_PHI * h
-    fc = func(c)
-    fd = func(d)
+    if pair_func is not None:
+        fcd = pair_func(np.stack([c, d], axis=-1))
+        fc, fd = fcd[..., 0], fcd[..., 1]
+    else:
+        fc = func(c)
+        fd = func(d)
 
     for _ in range(max_iter):
         if np.all(h <= tol):
             break
         left = fc < fd
-        # Where the left interior point wins, shrink the bracket to [a, d];
-        # elsewhere shrink it to [c, b].  Both interior points are then
-        # recomputed; this spends one extra evaluation per iteration
-        # compared to the textbook scalar scheme, but keeps the vectorised
-        # bookkeeping straightforward and branch-free.
-        b = np.where(left, d, b)
+        # Where the left interior point wins, shrink the bracket to
+        # [a, d] and reuse c (with its known value fc) as the new right
+        # interior point; elsewhere shrink to [c, b] and reuse d as the
+        # new left interior point.  Only the remaining interior point is
+        # fresh, so each iteration costs a single objective evaluation.
         a = np.where(left, a, c)
+        b = np.where(left, d, b)
         h = b - a
-        c = a + INV_PHI2 * h
-        d = a + INV_PHI * h
-        fc = func(c)
-        fd = func(d)
+        fresh = np.where(left, a + INV_PHI2 * h, a + INV_PHI * h)
+        f_fresh = func(fresh)
+        c, d = (
+            np.where(left, fresh, d),
+            np.where(left, c, fresh),
+        )
+        fc, fd = (
+            np.where(left, f_fresh, fd),
+            np.where(left, fc, f_fresh),
+        )
 
     x = np.where(fc < fd, c, d)
     fx = np.minimum(fc, fd)

@@ -29,6 +29,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.exceptions import ConfigurationError
+from repro.linalg.horner import horner_batch
 
 
 def real_roots(
@@ -137,6 +138,10 @@ def polyval_ascending(coeffs: np.ndarray, x: np.ndarray) -> np.ndarray:
 def polyval_ascending_batch(coeffs: np.ndarray, x: np.ndarray) -> np.ndarray:
     """Row-wise Horner evaluation of ``n`` polynomials at ``n`` point sets.
 
+    A thin alias of :func:`repro.linalg.horner.horner_batch` (the shared
+    projection-engine kernel), kept under its historical name for the
+    root-finding call sites in this module.
+
     Parameters
     ----------
     coeffs:
@@ -151,16 +156,7 @@ def polyval_ascending_batch(coeffs: np.ndarray, x: np.ndarray) -> np.ndarray:
     -------
     Values of shape ``(n, k)``.
     """
-    coeffs = np.atleast_2d(np.asarray(coeffs, dtype=float))
-    x = np.asarray(x, dtype=float)
-    if x.ndim == 1:
-        x = np.broadcast_to(x, (coeffs.shape[0], x.size))
-    result = np.broadcast_to(
-        coeffs[:, -1:], x.shape
-    ).astype(float, copy=True)
-    for j in range(coeffs.shape[1] - 2, -1, -1):
-        result = result * x + coeffs[:, j : j + 1]
-    return result
+    return horner_batch(coeffs, x)
 
 
 def batched_real_roots(

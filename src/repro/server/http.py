@@ -28,6 +28,11 @@ an unregistered model name is ``404``; structurally valid input the
 model rejects (wrong attribute count, NaN) is ``422``; a registered but
 unfitted model is ``409``.  Every error body is ``{"error": "..."}``.
 
+Request tracing: every response carries an ``X-Request-Id`` header —
+the client's own header echoed when it looks like a sane trace token,
+a generated id otherwise — and failed requests are recorded with their
+id in the bounded ``recent_errors`` window of ``GET /metrics``.
+
 Usage
 -----
 >>> from repro.server import ModelRegistry, ScoringHTTPServer
@@ -46,6 +51,7 @@ from __future__ import annotations
 import json
 import re
 import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import urlsplit
@@ -68,6 +74,11 @@ from repro.serving.batch import (
 
 #: ``/v1/models/<name>/score`` and ``/v1/models/<name>/rank``.
 _MODEL_ROUTE = re.compile(r"^/v1/models/([^/]+)/(score|rank)$")
+
+#: Client-supplied ``X-Request-Id`` values are echoed only when they
+#: look like sane trace tokens; anything else (empty, oversized,
+#: header-splitting characters) is replaced with a generated id.
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._:-]{1,128}$")
 
 #: Reject request bodies beyond this size (64 MiB ≈ 2M rows at d=4)
 #: before reading them; protects the daemon from accidental uploads.
@@ -134,6 +145,7 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
     # Routing
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._request_id = self._resolve_request_id()
         path = urlsplit(self.path).path
         if path == "/healthz":
             self._handle("GET /healthz", self._get_healthz)
@@ -147,22 +159,43 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
                 {"error": "use POST for scoring endpoints"},
                 headers={"Allow": "POST"},
             )
-            self.server.metrics.observe("GET (scoring route)", 405, 0.0)
+            self.server.metrics.observe(
+                "GET (scoring route)", 405, 0.0, request_id=self._request_id
+            )
         else:
             self._send_json(404, {"error": f"no route for {path!r}"})
-            self.server.metrics.observe("GET (unrouted)", 404, 0.0)
+            self.server.metrics.observe(
+                "GET (unrouted)", 404, 0.0, request_id=self._request_id
+            )
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._request_id = self._resolve_request_id()
         path = urlsplit(self.path).path
         match = _MODEL_ROUTE.match(path)
         if match is None:
             self._drain_body()
             self._send_json(404, {"error": f"no route for {path!r}"})
-            self.server.metrics.observe("POST (unrouted)", 404, 0.0)
+            self.server.metrics.observe(
+                "POST (unrouted)", 404, 0.0, request_id=self._request_id
+            )
             return
         name, action = match.group(1), match.group(2)
         endpoint = f"POST /v1/models/{{name}}/{action}"
         self._handle(endpoint, lambda: self._post_model(name, action))
+
+    def _resolve_request_id(self) -> str:
+        """Echo a sane client ``X-Request-Id``; generate one otherwise.
+
+        Every response carries the resolved id back in its
+        ``X-Request-Id`` header, and failed requests are recorded with
+        it in the ``/metrics`` error window — so a client log line and
+        a daemon-side error can be joined on the id whichever side
+        minted it.
+        """
+        supplied = (self.headers.get("X-Request-Id") or "").strip()
+        if _REQUEST_ID_RE.match(supplied):
+            return supplied
+        return uuid.uuid4().hex
 
     # ------------------------------------------------------------------
     # Handlers (each returns ``(status, payload, rows_scored)``)
@@ -326,7 +359,11 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
         # Record before responding: a client that sees the response and
         # immediately reads /metrics must find this request counted.
         self.server.metrics.observe(
-            endpoint, status, time.perf_counter() - started, rows=rows
+            endpoint,
+            status,
+            time.perf_counter() - started,
+            rows=rows,
+            request_id=getattr(self, "_request_id", None),
         )
         self._send_json(status, payload)
 
@@ -346,6 +383,9 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        request_id = getattr(self, "_request_id", None)
+        if request_id is not None:
+            self.send_header("X-Request-Id", request_id)
         for key, value in (headers or {}).items():
             self.send_header(key, value)
         self.end_headers()

@@ -61,6 +61,7 @@ from repro.serving.stream import (
     iter_csv_chunks,
     iter_csv_rows,
     iter_stream_scores,
+    stream_rank_topk,
     stream_score_csv,
 )
 
@@ -76,5 +77,6 @@ __all__ = [
     "loads_model",
     "save_model",
     "score_batch",
+    "stream_rank_topk",
     "stream_score_csv",
 ]

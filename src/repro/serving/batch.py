@@ -21,6 +21,13 @@ thread pool.  NumPy releases the GIL inside the projection hot path
 threads scale on multi-core serving boxes with zero extra memory copies
 — every worker writes its slice of the same preallocated output vector.
 
+Every chunk (serial or threaded) scores through the model's cached
+:class:`~repro.geometry.engine.ProjectionEngine`: the curve's power
+conversion and self-product polynomial are built once per fitted model,
+so per-chunk setup is a single ``X @ C`` matmul however many chunks a
+stream is split into.  The engine is immutable, which is what makes
+sharing it across ``n_jobs=`` workers safe.
+
 Usage
 -----
 >>> from repro.serving import score_batch

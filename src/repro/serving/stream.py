@@ -9,9 +9,10 @@ how long the file is.
 
 The pipeline has four small stages, each usable on its own:
 
-1. :func:`iter_csv_rows` — lazily parse a headered CSV into
-   ``(label, values)`` pairs, with the same validation (and the same
-   ``file:line`` error messages) as :func:`load_csv`;
+1. :func:`iter_csv_rows` — lazily parse a headered CSV (``.gz``
+   decompressed transparently) into ``(label, values)`` pairs, with
+   the same validation (and the same ``file:line`` error messages) as
+   :func:`load_csv`;
 2. :func:`iter_csv_chunks` — buffer those rows into
    :class:`~repro.data.loaders.TabularData` chunks;
 3. :func:`iter_stream_scores` — push each chunk through
@@ -19,7 +20,9 @@ The pipeline has four small stages, each usable on its own:
    ``iter_score_chunks``, optionally over ``n_jobs`` threads),
    yielding ``(labels, scores)`` per chunk;
 4. :func:`stream_score_csv` — write ``label,score`` rows out
-   incrementally, in input order.
+   incrementally, in input order — or :func:`stream_rank_topk`, which
+   folds the chunks into a bounded top-``k`` heap so even the ranking
+   list never materialises (``repro score --stream --top-k N``).
 
 Chunk boundaries here are the same multiples of ``chunk_size`` that
 :func:`~repro.serving.batch.score_batch` uses, so the streamed scores
@@ -34,14 +37,28 @@ byte-identical output to the in-memory path at the same chunk size.
 from __future__ import annotations
 
 import csv
+import gzip
+import heapq
 import pathlib
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import IO, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.exceptions import DataValidationError
+from repro.core.exceptions import ConfigurationError, DataValidationError
 from repro.core.rpc import RankingPrincipalCurve
 from repro.data.loaders import TabularData, resolve_csv_columns
+
+
+def _open_text(path: pathlib.Path) -> IO[str]:
+    """Open a CSV for row-wise reading, transparently gunzipping ``.gz``.
+
+    Compressed exports stream through :mod:`gzip`'s incremental text
+    reader, so peak memory stays ``O(chunk_size * d)`` for ``.csv.gz``
+    inputs exactly as for plain CSV.
+    """
+    if path.suffix == ".gz":
+        return gzip.open(path, mode="rt", newline="")
+    return path.open(newline="")
 
 
 def iter_csv_rows(
@@ -60,7 +77,8 @@ def iter_csv_rows(
     Parameters
     ----------
     path:
-        File to read.
+        File to read; a ``.gz`` suffix (e.g. ``data.csv.gz``) is
+        decompressed transparently while still streaming row by row.
     label_column:
         Header of the identifier column; defaults to the first column.
     attribute_columns:
@@ -70,7 +88,7 @@ def iter_csv_rows(
         Field separator.
     """
     path = pathlib.Path(path)
-    with path.open(newline="") as handle:
+    with _open_text(path) as handle:
         reader = csv.reader(handle, delimiter=delimiter)
         try:
             header = next(reader)
@@ -119,7 +137,7 @@ def iter_csv_chunks(
     path = pathlib.Path(path)
     # Resolve the attribute names up front so an empty selection or a
     # bad header fails on the first ``next()``, before any row is read.
-    with path.open(newline="") as handle:
+    with _open_text(path) as handle:
         try:
             header = next(csv.reader(handle, delimiter=delimiter))
         except StopIteration:
@@ -243,3 +261,71 @@ def stream_score_csv(
                 writer.writerow([label, repr(float(score))])
             n_scored += len(labels)
     return n_scored
+
+
+def stream_rank_topk(
+    model: RankingPrincipalCurve,
+    csv_path: str | pathlib.Path,
+    k: int,
+    chunk_size: Optional[int] = None,
+    label_column: Optional[str] = None,
+    delimiter: str = ",",
+    n_jobs: Optional[int] = None,
+) -> Tuple[List[Tuple[str, float]], int]:
+    """Best-``k`` objects of a streamed CSV via a bounded min-heap.
+
+    The streaming terminus for *ranking*: where
+    :func:`stream_score_csv` emits every score,
+    this keeps only the current ``k`` best ``(score, label)`` entries
+    in a :mod:`heapq` min-heap while chunks flow through, so the full
+    ranking list is never materialised — peak memory is
+    ``O(chunk_size * d + k)`` however long the file is.
+
+    Ordering matches :func:`~repro.core.scoring.build_ranking_list`
+    exactly: higher scores rank first, and exact score ties break
+    toward the earlier input row (the stable-sort convention of the
+    in-memory path), so the result equals
+    ``build_ranking_list(all_scores, labels).top(k)``.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`RankingPrincipalCurve`.
+    csv_path:
+        Input CSV (``.gz`` accepted) of objects to rank.
+    k:
+        Number of top entries to keep, ``k >= 1``.
+    chunk_size, label_column, delimiter, n_jobs:
+        As in :func:`iter_stream_scores`.
+
+    Returns
+    -------
+    (top, n_rows):
+        ``top`` is the best-first list of ``(label, score)`` pairs
+        (at most ``k``); ``n_rows`` is the total number of rows scored.
+    """
+    k = int(k)
+    if k < 1:
+        raise ConfigurationError(f"k must be >= 1, got {k}")
+    # Heap entries are (score, -row_index, label): the min-heap root is
+    # the entry to evict, and on equal scores the *later* row (smaller
+    # -row_index) is evicted first, reproducing stable-sort tie-breaks.
+    heap: List[Tuple[float, int, str]] = []
+    n_rows = 0
+    for labels, scores in iter_stream_scores(
+        model,
+        csv_path,
+        chunk_size=chunk_size,
+        label_column=label_column,
+        delimiter=delimiter,
+        n_jobs=n_jobs,
+    ):
+        for label, score in zip(labels, scores):
+            entry = (float(score), -n_rows, label)
+            n_rows += 1
+            if len(heap) < k:
+                heapq.heappush(heap, entry)
+            elif entry > heap[0]:
+                heapq.heapreplace(heap, entry)
+    best_first = sorted(heap, reverse=True)
+    return [(label, score) for score, _, label in best_first], n_rows

@@ -338,6 +338,96 @@ class TestMetricsEndpoint:
         assert after["requests_total"] > before["requests_total"]
 
 
+def _request_with_headers(
+    url: str, payload=None, request_id: str | None = None
+) -> tuple[int, dict, dict]:
+    """Like ``_get``/``_post`` but also returning the response headers."""
+    data = None if payload is None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=data, method="POST" if data is not None else "GET"
+    )
+    if request_id is not None:
+        request.add_header("X-Request-Id", request_id)
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return (
+                response.status,
+                json.loads(response.read()),
+                dict(response.headers),
+            )
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+class TestRequestTracing:
+    def test_client_id_is_echoed(self, served):
+        base, _, _, _, X = served
+        status, _, headers = _request_with_headers(
+            base + "/v1/models/demo/score",
+            {"row": X[0].tolist()},
+            request_id="trace-abc.123",
+        )
+        assert status == 200
+        assert headers["X-Request-Id"] == "trace-abc.123"
+
+    def test_missing_id_is_generated(self, served):
+        base, *_ = served
+        _, _, h1 = _request_with_headers(base + "/healthz")
+        _, _, h2 = _request_with_headers(base + "/healthz")
+        assert h1["X-Request-Id"] and h2["X-Request-Id"]
+        assert h1["X-Request-Id"] != h2["X-Request-Id"]
+
+    def test_garbage_id_is_replaced(self, served):
+        base, *_ = served
+        _, _, headers = _request_with_headers(
+            base + "/healthz", request_id="x" * 500
+        )
+        assert headers["X-Request-Id"] != "x" * 500
+        assert headers["X-Request-Id"]
+
+    def test_error_responses_carry_the_id(self, served):
+        base, *_ = served
+        status, _, headers = _request_with_headers(
+            base + "/v1/models/missing/score",
+            {"row": [1.0, 2.0, 3.0]},
+            request_id="err-trace-1",
+        )
+        assert status == 404
+        assert headers["X-Request-Id"] == "err-trace-1"
+
+    def test_failed_request_lands_in_metrics_error_log(self, served):
+        base, *_ = served
+        rid = "metrics-err-42"
+        status, _, _ = _request_with_headers(
+            base + "/v1/models/missing/score",
+            {"row": [1.0, 2.0, 3.0]},
+            request_id=rid,
+        )
+        assert status == 404
+        metrics = _get(base + "/metrics")[1]
+        assert metrics["errors_total"] >= 1
+        matching = [
+            err for err in metrics["recent_errors"]
+            if err["request_id"] == rid
+        ]
+        assert matching, metrics["recent_errors"]
+        assert matching[0]["status"] == 404
+        assert matching[0]["endpoint"] == "POST /v1/models/{name}/score"
+
+    def test_unrouted_request_is_traced(self, served):
+        base, *_ = served
+        rid = "unrouted-7"
+        status, _, headers = _request_with_headers(
+            base + "/nope", request_id=rid
+        )
+        assert status == 404
+        assert headers["X-Request-Id"] == rid
+        metrics = _get(base + "/metrics")[1]
+        assert any(
+            err["request_id"] == rid for err in metrics["recent_errors"]
+        )
+
+
 class TestHotReload:
     def test_mtime_change_swaps_the_model(self, served):
         base, registry, path, model, X = served

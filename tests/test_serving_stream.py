@@ -260,3 +260,138 @@ class TestCliStream:
         code = main(["score", str(model_path), str(bad), "--stream"])
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestGzipInput:
+    @pytest.fixture()
+    def gz_path(self, workload, tmp_path):
+        """A gzipped byte-for-byte copy of the fixture CSV."""
+        import gzip
+
+        _, _, csv_path, _, _ = workload
+        gz = tmp_path / "fresh.csv.gz"
+        with gz.open("wb") as handle:
+            handle.write(gzip.compress(csv_path.read_bytes()))
+        return gz
+
+    def test_rows_match_plain_csv(self, workload, gz_path):
+        _, _, csv_path, _, _ = workload
+        plain = list(iter_csv_rows(csv_path, label_column="id"))
+        gz = list(iter_csv_rows(gz_path, label_column="id"))
+        assert [label for label, _ in gz] == [label for label, _ in plain]
+        np.testing.assert_array_equal(
+            np.asarray([v for _, v in gz]),
+            np.asarray([v for _, v in plain]),
+        )
+
+    def test_stream_score_round_trip(self, workload, gz_path, tmp_path):
+        """Gzipped input scores byte-identically to the plain file."""
+        model, _, csv_path, _, _ = workload
+        out_plain = tmp_path / "plain_scores.csv"
+        out_gz = tmp_path / "gz_scores.csv"
+        n_plain = stream_score_csv(
+            model, csv_path, out_plain, chunk_size=40, label_column="id"
+        )
+        n_gz = stream_score_csv(
+            model, gz_path, out_gz, chunk_size=40, label_column="id"
+        )
+        assert n_gz == n_plain == N_ROWS
+        assert out_gz.read_bytes() == out_plain.read_bytes()
+
+    def test_validation_still_reports_lines(self, tmp_path):
+        import gzip
+
+        bad = tmp_path / "bad.csv.gz"
+        with gzip.open(bad, "wt", newline="") as handle:
+            handle.write("id,a,b\nx,1,oops\n")
+        with pytest.raises(DataValidationError, match=r"bad\.csv\.gz:2"):
+            list(iter_csv_rows(bad))
+
+
+class TestStreamRankTopK:
+    def test_matches_in_memory_top_k(self, workload):
+        from repro.core.scoring import build_ranking_list
+        from repro.serving import stream_rank_topk
+
+        model, _, csv_path, X, labels = workload
+        full = build_ranking_list(score_batch(model, X), labels=labels)
+        for k in (1, 5, N_ROWS, N_ROWS + 10):
+            top, n_rows = stream_rank_topk(
+                model, csv_path, k, chunk_size=40, label_column="id"
+            )
+            assert n_rows == N_ROWS
+            assert top == full.top(k)
+
+    def test_ties_break_toward_earlier_rows(self, workload, tmp_path):
+        """Duplicate rows tie exactly; the earlier row must rank first,
+        matching the stable sort of ``build_ranking_list``."""
+        from repro.core.scoring import build_ranking_list
+        from repro.serving import stream_rank_topk
+
+        model, _, _, X, _ = workload
+        X_dup = np.vstack([X[:5], X[:5], X[:5]])
+        labels = [f"r{i:02d}" for i in range(15)]
+        dup_csv = tmp_path / "dups.csv"
+        save_csv(dup_csv, labels, X_dup, ["a", "b", "c"], label_column="id")
+        full = build_ranking_list(score_batch(model, X_dup), labels=labels)
+        top, _ = stream_rank_topk(
+            model, dup_csv, 7, chunk_size=4, label_column="id"
+        )
+        assert top == full.top(7)
+
+    def test_bad_k_rejected(self, workload):
+        from repro.core.exceptions import ConfigurationError
+        from repro.serving import stream_rank_topk
+
+        model, _, csv_path, _, _ = workload
+        with pytest.raises(ConfigurationError, match="k must be >= 1"):
+            stream_rank_topk(model, csv_path, 0, label_column="id")
+
+
+class TestCliTopK:
+    def test_matches_plain_score_head(self, workload, tmp_path, capsys):
+        _, model_path, csv_path, _, _ = workload
+        base = [
+            "score", str(model_path), str(csv_path),
+            "--label-column", "id", "--chunk-size", "25", "--top", "5",
+        ]
+        full_out = tmp_path / "full.csv"
+        assert main(base + ["--output", str(full_out)]) == 0
+        plain_stdout = capsys.readouterr().out
+
+        topk_out = tmp_path / "topk.csv"
+        code = main(
+            [
+                "score", str(model_path), str(csv_path),
+                "--label-column", "id", "--chunk-size", "25",
+                "--stream", "--top-k", "5", "--output", str(topk_out),
+            ]
+        )
+        assert code == 0
+        topk_stdout = capsys.readouterr().out
+
+        # The printed top-5 table is identical to the in-memory path's.
+        plain_table = [
+            line for line in plain_stdout.splitlines()
+            if line.startswith(" ")
+        ]
+        topk_table = [
+            line for line in topk_stdout.splitlines()
+            if line.startswith(" ")
+        ]
+        assert topk_table == plain_table
+
+        # The written file is exactly the head of the full ranking.
+        with full_out.open() as handle:
+            full_rows = list(csv.reader(handle))
+        with topk_out.open() as handle:
+            topk_rows = list(csv.reader(handle))
+        assert topk_rows == full_rows[:6]  # header + 5 rows
+
+    def test_top_k_requires_stream(self, workload, capsys):
+        _, model_path, csv_path, _, _ = workload
+        code = main(
+            ["score", str(model_path), str(csv_path), "--top-k", "3"]
+        )
+        assert code == 2
+        assert "--stream" in capsys.readouterr().err
