@@ -14,6 +14,8 @@ Usage::
     python -m repro score model.json fresh.csv --output ranking.csv
     python -m repro score model.json huge.csv --stream --jobs 4
     python -m repro score model.json huge.csv.gz --stream --top-k 10
+    python -m repro score model.json huge.csv.gz --stream --rank \
+        --memory-budget-rows 100000 --output ranking.csv
 
     # long-running scoring daemon (JSON over HTTP)
     python -m repro serve --model wellbeing=model.json --port 8000
@@ -27,9 +29,12 @@ fitted model (JSON or ``.npz`` by suffix) instead of discarding it;
 with chunked, bounded-memory batch projection — no refitting; with
 ``--stream`` the CSV (gzipped or plain) is read incrementally so
 inputs larger than memory score in ``O(chunk_size)`` space, ``--jobs``
-fans chunks out over worker threads, and ``--top-k N`` folds the
-stream into a bounded heap so even the ranking list never
-materialises.  ``serve`` keeps any number of saved models
+fans chunks out over worker threads, ``--top-k N`` folds the stream
+into a bounded heap so even the ranking list never materialises, and
+``--rank`` produces the *complete* ranking through a spill-to-disk
+external merge sort (``--memory-budget-rows`` bounds the buffered
+rows) with output byte-identical to the in-memory path.  ``serve``
+keeps any number of saved models
 resident behind an HTTP daemon (see :mod:`repro.server`) instead of
 paying a process start per scoring run.
 """
@@ -53,7 +58,11 @@ from repro.core.scoring import build_ranking_list
 from repro.data.loaders import load_csv, parse_alpha_spec, save_ranking_csv
 from repro.serving.batch import score_batch
 from repro.serving.persistence import check_model_path, load_model, save_model
-from repro.serving.stream import iter_stream_scores, stream_rank_topk
+from repro.serving.stream import (
+    iter_stream_scores,
+    stream_rank_csv,
+    stream_rank_topk,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -168,6 +177,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="streaming rank: keep only the best N rows in a bounded "
         "heap so the full ranking never materialises (requires "
         "--stream; prints and writes just those N rows)",
+    )
+    score.add_argument(
+        "--rank",
+        action="store_true",
+        help="full streaming rank: order ALL rows via a spill-to-disk "
+        "external merge sort (requires --stream; output is "
+        "byte-identical to the in-memory ranking path while peak "
+        "buffered rows stay within --memory-budget-rows)",
+    )
+    score.add_argument(
+        "--memory-budget-rows",
+        type=int,
+        default=None,
+        dest="memory_budget_rows",
+        metavar="N",
+        help="rows buffered in memory before the external sort spills "
+        "a sorted run to disk (with --rank; default 1000000)",
     )
 
     serve = sub.add_parser(
@@ -314,6 +340,45 @@ def _run_load(args: argparse.Namespace) -> int:
 
 def _run_score(args: argparse.Namespace) -> int:
     model = load_model(args.model_path)
+    if args.rank and not args.stream:
+        raise ConfigurationError(
+            "--rank is a streaming rank mode; combine it with --stream"
+        )
+    if args.rank and args.top_k is not None:
+        raise ConfigurationError(
+            "--top-k and --rank are mutually exclusive: --top-k keeps "
+            "the best N rows, --rank orders all of them"
+        )
+    if args.memory_budget_rows is not None and not args.rank:
+        raise ConfigurationError(
+            "--memory-budget-rows tunes the external sort; it requires "
+            "--stream --rank"
+        )
+    if args.rank:
+        # Full streaming rank: scored chunks spill to sorted run files
+        # whenever more than --memory-budget-rows rows are buffered,
+        # and a k-way merge writes the complete ranking incrementally —
+        # byte-identical to the in-memory path below, without ever
+        # materialising the input, the scores, or the ranking list.
+        n_rows, head = stream_rank_csv(
+            model,
+            args.csv_path,
+            args.output,
+            chunk_size=args.chunk_size,
+            label_column=args.label_column,
+            n_jobs=args.jobs,
+            memory_budget_rows=args.memory_budget_rows,
+            head=max(args.top, 0),
+        )
+        print(
+            f"scored {n_rows} objects with saved model {args.model_path}"
+        )
+        print(f"{'pos':>4}  {'score':>8}  label")
+        for position, (label, score) in enumerate(head, start=1):
+            print(f"{position:>4}  {score:>8.4f}  {label}")
+        if args.output:
+            print(f"full ranking written to {args.output}")
+        return 0
     if args.top_k is not None:
         if not args.stream:
             raise ConfigurationError(

@@ -62,7 +62,13 @@ from repro.core.projection import (
     stationary_residual,
 )
 from repro.core.rpc import RankingPrincipalCurve
-from repro.core.scoring import RankingList, build_ranking_list, rescale_scores
+from repro.core.scoring import (
+    RankingList,
+    build_ranking_list,
+    rank_entry_key,
+    rank_order,
+    rescale_scores,
+)
 
 __all__ = [
     "AttributeImportance",
@@ -88,6 +94,8 @@ __all__ = [
     "assess_ranking_model",
     "attribute_importances",
     "build_ranking_list",
+    "rank_entry_key",
+    "rank_order",
     "check_capacity",
     "check_explicitness",
     "check_invariance",

@@ -10,7 +10,7 @@ directly comparable outputs for the experiment tables.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -83,6 +83,40 @@ class RankingList:
         return np.unique(self.scores).size < self.scores.size
 
 
+def rank_entry_key(
+    score: float, row_index: int, descending: bool = True
+) -> Tuple[float, int]:
+    """The canonical per-row sort key of a ranking.
+
+    Sorting entries by this key in *ascending* order reproduces the
+    ranking convention of :func:`build_ranking_list` exactly: higher
+    scores first (when ``descending``), and exact score ties broken
+    toward the earlier input row — the stable-sort convention every
+    ranking path in the codebase must share.  The streaming top-``k``
+    heap and the external merge sort both derive their orderings from
+    this key, so their output is byte-identical to the in-memory path.
+    """
+    score = float(score)
+    return (-score if descending else score, int(row_index))
+
+
+def rank_order(scores: np.ndarray, descending: bool = True) -> np.ndarray:
+    """Best-first permutation of ``scores`` under the canonical key.
+
+    Vectorised counterpart of :func:`rank_entry_key`:
+    ``rank_order(scores)[0]`` is the index of the top-ranked row, and
+    tied scores keep their input order (stable sort), so
+
+    >>> import numpy as np
+    >>> scores = np.array([0.5, 0.9, 0.5])
+    >>> rank_order(scores).tolist()
+    [1, 0, 2]
+    """
+    scores = np.asarray(scores, dtype=float).ravel()
+    key = -scores if descending else scores
+    return np.argsort(key, kind="stable")
+
+
 def build_ranking_list(
     scores: np.ndarray,
     labels: Optional[Sequence[str]] = None,
@@ -109,8 +143,7 @@ def build_ranking_list(
         raise DataValidationError(
             f"{len(labels)} labels for {scores.size} scores"
         )
-    key = -scores if descending else scores
-    order = np.argsort(key, kind="stable")
+    order = rank_order(scores, descending=descending)
     positions = np.empty(scores.size, dtype=int)
     positions[order] = np.arange(1, scores.size + 1)
     return RankingList(

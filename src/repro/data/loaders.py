@@ -165,6 +165,23 @@ def save_csv(
             writer.writerow([label, *(repr(float(v)) for v in row)])
 
 
+#: Header of every ranking CSV — shared by :func:`save_ranking_csv`
+#: and the streaming rank so the two files can never drift apart.
+RANKING_CSV_HEADER = ["position", "label", "score"]
+
+
+def ranking_csv_row(position: int, label: str, score: float) -> list:
+    """One serialised ranking row (shortest-round-trip float ``repr``).
+
+    The single definition of the ranking-file row format: both
+    :func:`save_ranking_csv` (in-memory path) and
+    :func:`repro.serving.stream.stream_rank_csv` (external-sort path)
+    write through it, which is what makes their byte-identity contract
+    a property of the code rather than of two copies staying in sync.
+    """
+    return [int(position), label, repr(float(score))]
+
+
 def save_ranking_csv(
     path: str | pathlib.Path,
     ranking: RankingList,
@@ -178,14 +195,14 @@ def save_ranking_csv(
     path = pathlib.Path(path)
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle, delimiter=delimiter)
-        writer.writerow(["position", "label", "score"])
+        writer.writerow(RANKING_CSV_HEADER)
         for idx in ranking.order:
             writer.writerow(
-                [
-                    int(ranking.positions[idx]),
+                ranking_csv_row(
+                    ranking.positions[idx],
                     ranking.labels[idx],
-                    repr(float(ranking.scores[idx])),
-                ]
+                    ranking.scores[idx],
+                )
             )
 
 

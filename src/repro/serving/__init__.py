@@ -19,6 +19,12 @@ halves of that workflow:
 * :mod:`repro.serving.stream` — incremental CSV scoring: lazily parse
   rows, buffer them into chunks, score each chunk and write results
   out, so ``repro score --stream`` never materialises its input.
+* :mod:`repro.serving.extsort` — spill-to-disk external merge sort,
+  the full-ordering complement of the bounded top-``k`` heap: when
+  *all* rows must come back ranked, sorted runs spill at a fixed
+  ``memory_budget_rows`` and a k-way merge emits the complete ranking
+  (``repro score --stream --rank``), byte-identical to the in-memory
+  ``build_ranking_list`` path.
 
 For a long-running daemon on top of these pieces (model registry,
 hot reload, JSON-over-HTTP endpoints) see :mod:`repro.server`.
@@ -50,6 +56,11 @@ from repro.serving.batch import (
     iter_score_chunks,
     score_batch,
 )
+from repro.serving.extsort import (
+    DEFAULT_MAX_OPEN_RUNS,
+    DEFAULT_MEMORY_BUDGET_ROWS,
+    ExternalSorter,
+)
 from repro.serving.persistence import (
     check_model_path,
     dumps_model,
@@ -61,12 +72,16 @@ from repro.serving.stream import (
     iter_csv_chunks,
     iter_csv_rows,
     iter_stream_scores,
+    stream_rank_csv,
     stream_rank_topk,
     stream_score_csv,
 )
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_MAX_OPEN_RUNS",
+    "DEFAULT_MEMORY_BUDGET_ROWS",
+    "ExternalSorter",
     "check_model_path",
     "dumps_model",
     "iter_csv_chunks",
@@ -77,6 +92,7 @@ __all__ = [
     "loads_model",
     "save_model",
     "score_batch",
+    "stream_rank_csv",
     "stream_rank_topk",
     "stream_score_csv",
 ]

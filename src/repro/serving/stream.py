@@ -19,10 +19,14 @@ The pipeline has four small stages, each usable on its own:
    :func:`~repro.serving.batch.score_batch` (which walks
    ``iter_score_chunks``, optionally over ``n_jobs`` threads),
    yielding ``(labels, scores)`` per chunk;
-4. :func:`stream_score_csv` — write ``label,score`` rows out
-   incrementally, in input order — or :func:`stream_rank_topk`, which
-   folds the chunks into a bounded top-``k`` heap so even the ranking
-   list never materialises (``repro score --stream --top-k N``).
+4. a terminus per output shape: :func:`stream_score_csv` writes
+   ``label,score`` rows incrementally in input order;
+   :func:`stream_rank_topk` folds the chunks into a bounded top-``k``
+   heap (``repro score --stream --top-k N``); and
+   :func:`stream_rank_csv` produces the *complete* ranking through the
+   external merge sort of :mod:`repro.serving.extsort`
+   (``repro score --stream --rank``), so even a full ordering never
+   buffers more than ``memory_budget_rows`` rows.
 
 Chunk boundaries here are the same multiples of ``chunk_size`` that
 :func:`~repro.serving.batch.score_batch` uses, so the streamed scores
@@ -46,6 +50,7 @@ import numpy as np
 
 from repro.core.exceptions import ConfigurationError, DataValidationError
 from repro.core.rpc import RankingPrincipalCurve
+from repro.core.scoring import rank_entry_key
 from repro.data.loaders import TabularData, resolve_csv_columns
 
 
@@ -294,7 +299,10 @@ def stream_rank_topk(
     csv_path:
         Input CSV (``.gz`` accepted) of objects to rank.
     k:
-        Number of top entries to keep, ``k >= 1``.
+        Number of top entries to keep, ``k >= 0``.  ``k = 0`` scores
+        (and counts) every row but keeps none; ``k`` beyond the row
+        count returns the complete ranking — both are exactly
+        ``build_ranking_list(all_scores, labels).top(k)``.
     chunk_size, label_column, delimiter, n_jobs:
         As in :func:`iter_stream_scores`.
 
@@ -305,11 +313,15 @@ def stream_rank_topk(
         (at most ``k``); ``n_rows`` is the total number of rows scored.
     """
     k = int(k)
-    if k < 1:
-        raise ConfigurationError(f"k must be >= 1, got {k}")
-    # Heap entries are (score, -row_index, label): the min-heap root is
-    # the entry to evict, and on equal scores the *later* row (smaller
-    # -row_index) is evicted first, reproducing stable-sort tie-breaks.
+    if k < 0:
+        raise ConfigurationError(f"k must be >= 0, got {k}")
+    # Heap entries are ``(score, -row_index, label)`` — exactly the
+    # negation of the canonical ``rank_entry_key`` — so the min-heap
+    # root is the entry to evict: on equal scores the later row
+    # (smaller ``-row_index``) goes first, reproducing the stable-sort
+    # tie-break.  (Written out inline to keep the per-row hot loop
+    # free of calls; the final ordering below goes through the shared
+    # key, so the two can never drift apart silently.)
     heap: List[Tuple[float, int, str]] = []
     n_rows = 0
     for labels, scores in iter_stream_scores(
@@ -320,6 +332,11 @@ def stream_rank_topk(
         delimiter=delimiter,
         n_jobs=n_jobs,
     ):
+        if k == 0:
+            # Nothing to keep, but the stream is still drained so the
+            # row count (and input validation) match the k > 0 path.
+            n_rows += len(labels)
+            continue
         for label, score in zip(labels, scores):
             entry = (float(score), -n_rows, label)
             n_rows += 1
@@ -327,5 +344,106 @@ def stream_rank_topk(
                 heapq.heappush(heap, entry)
             elif entry > heap[0]:
                 heapq.heapreplace(heap, entry)
-    best_first = sorted(heap, reverse=True)
+    best_first = sorted(
+        heap, key=lambda entry: rank_entry_key(entry[0], -entry[1])
+    )
     return [(label, score) for score, _, label in best_first], n_rows
+
+
+def stream_rank_csv(
+    model: RankingPrincipalCurve,
+    csv_path: str | pathlib.Path,
+    output_path: Optional[str | pathlib.Path] = None,
+    chunk_size: Optional[int] = None,
+    label_column: Optional[str] = None,
+    delimiter: str = ",",
+    n_jobs: Optional[int] = None,
+    memory_budget_rows: Optional[int] = None,
+    max_open_runs: Optional[int] = None,
+    tmp_dir: Optional[str | pathlib.Path] = None,
+    head: int = 0,
+) -> Tuple[int, List[Tuple[str, float]]]:
+    """The *complete* ranking of a streamed CSV in bounded memory.
+
+    The full-ordering terminus of the streaming pipeline: every scored
+    chunk feeds an :class:`~repro.serving.extsort.ExternalSorter`,
+    which spills sorted runs to disk whenever more than
+    ``memory_budget_rows`` rows are buffered and merges them back in
+    ranking order.  The ``position,label,score`` rows written to
+    ``output_path`` are byte-identical to saving
+    ``build_ranking_list(all_scores, labels)`` with
+    :func:`~repro.data.loaders.save_ranking_csv` — same scores, same
+    stable tie-breaks (via the shared
+    :func:`~repro.core.scoring.rank_entry_key`) — while peak memory
+    stays ``O(chunk_size * n_jobs * d + memory_budget_rows)`` however
+    long the file is.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`RankingPrincipalCurve`.
+    csv_path:
+        Input CSV (``.gz`` accepted) of objects to rank.
+    output_path:
+        Destination for the full ranking CSV, written incrementally
+        during the merge; ``None`` skips the file (useful when only
+        the returned ``head`` is wanted).
+    chunk_size, label_column, delimiter, n_jobs:
+        As in :func:`iter_stream_scores`.
+    memory_budget_rows, max_open_runs, tmp_dir:
+        External-sort knobs, see
+        :class:`~repro.serving.extsort.ExternalSorter`.  Run files are
+        removed however the call exits.
+    head:
+        Also collect the first ``head`` ranked entries for the caller
+        (the CLI prints them); ``0`` collects none.
+
+    Returns
+    -------
+    (n_rows, head_entries):
+        Total rows ranked, and the best-first ``(label, score)`` pairs
+        collected per ``head``.
+    """
+    from repro.serving.extsort import ExternalSorter
+
+    head = int(head)
+    if head < 0:
+        raise ConfigurationError(f"head must be >= 0, got {head}")
+    head_entries: List[Tuple[str, float]] = []
+    n_rows = 0
+    with ExternalSorter(
+        memory_budget_rows=memory_budget_rows,
+        max_open_runs=max_open_runs,
+        tmp_dir=tmp_dir,
+    ) as sorter:
+        for labels, scores in iter_stream_scores(
+            model,
+            csv_path,
+            chunk_size=chunk_size,
+            label_column=label_column,
+            delimiter=delimiter,
+            n_jobs=n_jobs,
+        ):
+            sorter.add(labels, scores)
+        n_rows = sorter.n_rows
+        ranked = sorter.ranked()
+        if output_path is None:
+            for position, label, score in ranked:
+                if position > head:
+                    break
+                head_entries.append((label, score))
+        else:
+            from repro.data.loaders import (
+                RANKING_CSV_HEADER,
+                ranking_csv_row,
+            )
+
+            output_path = pathlib.Path(output_path)
+            with output_path.open("w", newline="") as handle:
+                writer = csv.writer(handle, delimiter=delimiter)
+                writer.writerow(RANKING_CSV_HEADER)
+                for position, label, score in ranked:
+                    writer.writerow(ranking_csv_row(position, label, score))
+                    if position <= head:
+                        head_entries.append((label, score))
+    return n_rows, head_entries

@@ -6,7 +6,49 @@ import numpy as np
 import pytest
 
 from repro.core.exceptions import DataValidationError
-from repro.core.scoring import build_ranking_list, rescale_scores
+from repro.core.scoring import (
+    build_ranking_list,
+    rank_entry_key,
+    rank_order,
+    rescale_scores,
+)
+
+
+class TestRankKey:
+    """The one tie-break convention every ranking path must share."""
+
+    def test_entry_key_sorts_best_first(self):
+        entries = [(0.5, 0), (0.9, 1), (0.5, 2), (0.1, 3)]
+        ordered = sorted(
+            entries, key=lambda e: rank_entry_key(e[0], e[1])
+        )
+        # Highest score first; the 0.5 tie breaks toward row 0.
+        assert [row for _, row in ordered] == [1, 0, 2, 3]
+
+    def test_entry_key_ascending_flag(self):
+        assert rank_entry_key(0.5, 3, descending=False) == (0.5, 3)
+        assert rank_entry_key(0.5, 3) == (-0.5, 3)
+
+    def test_rank_order_matches_build_ranking_list(self, rng):
+        # Coarse quantisation manufactures exact ties; the stable
+        # order must agree with build_ranking_list on every draw.
+        for _ in range(20):
+            scores = rng.choice(np.linspace(0, 1, 5), size=50)
+            np.testing.assert_array_equal(
+                rank_order(scores), build_ranking_list(scores).order
+            )
+
+    def test_rank_order_agrees_with_entry_key_sort(self, rng):
+        scores = rng.choice(np.linspace(0, 1, 4), size=40)
+        by_key = sorted(
+            range(scores.size),
+            key=lambda i: rank_entry_key(scores[i], i),
+        )
+        np.testing.assert_array_equal(rank_order(scores), by_key)
+
+    def test_rank_order_ascending(self):
+        scores = np.array([0.3, 0.1, 0.3, 0.2])
+        assert rank_order(scores, descending=False).tolist() == [1, 3, 0, 2]
 
 
 class TestBuildRankingList:

@@ -64,6 +64,28 @@ def served(fitted, tmp_path_factory):
     thread.join(timeout=5)
 
 
+@pytest.fixture(autouse=True)
+def _complete_pending_reloads(request):
+    """After every test that used the shared daemon, finish any hot
+    reload its file writes left pending.
+
+    ``served`` is module-scoped shared state, and the registry's
+    ``_maybe_reload`` is deliberately non-blocking — so a test that
+    overwrites the model file and bumps its mtime *without* a
+    follow-up access leaves a pending-reload window in which a later
+    test's concurrent clients can be served the stale model (the
+    root-caused TestConcurrentScoring flake).  An uncontended ``get``
+    per registered model completes the reload inline, guarding the
+    whole class of bug instead of relying on each mutating test to
+    remember its own synchronous restore.
+    """
+    yield
+    if "served" in request.fixturenames:
+        _, registry, *_ = request.getfixturevalue("served")
+        for name in registry.names():
+            registry.get(name)
+
+
 def _get(url: str) -> tuple[int, dict]:
     try:
         with urllib.request.urlopen(url, timeout=10) as response:
@@ -456,10 +478,28 @@ class TestHotReload:
         assert entry["loads"] >= 2
         assert entry["last_error"] is None
 
-        # Restore the original model for any tests that follow.
+        # Restore the original model for any tests that follow — and
+        # *force* the reload before leaving this test.  Bumping the
+        # mtime alone only schedules a reload on the next registry
+        # access; because ``_maybe_reload`` is deliberately
+        # non-blocking, leaving that first access to a later test's
+        # concurrent clients means one of them performs the reload
+        # while the rest are served the stale replacement model (the
+        # historical TestConcurrentScoring flake).  A serial request
+        # holds no contention on the reload lock, so the swap happens
+        # inline, deterministically, right here.
         save_model(model, path, feature_names=["a", "b", "c"])
         stat = path.stat()
         os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 10**9))
+        status, body = _post(
+            base + "/v1/models/demo/score", {"rows": X[:5].tolist()}
+        )
+        assert status == 200
+        np.testing.assert_array_equal(
+            np.asarray(body["scores"]), old_scores
+        )
+        (entry,) = registry.describe()
+        assert entry["loads"] >= 3
 
     def test_corrupt_reload_keeps_previous_model(self, tmp_path):
         model, X = _fit(seed=5)
@@ -523,6 +563,35 @@ class TestModelRegistry:
         assert "a" in registry and "nope" not in registry
         assert registry.names() == ["a", "b"]
 
+    def test_pending_reload_is_non_blocking(self, fitted, tmp_path):
+        """While a reload is in flight, ``get`` serves the *currently
+        loaded* model instead of queueing behind the disk I/O — the
+        documented eventual consistency of hot reload.  Pinned here
+        because it is exactly the window that made stale reads
+        possible in the TestConcurrentScoring flake: callers must not
+        assume a bumped mtime is visible until an uncontended access
+        has completed the reload.
+        """
+        model, X = fitted
+        path = tmp_path / "m.json"
+        save_model(model, path)
+        registry = ModelRegistry()
+        entry = registry.register("m", path)
+        replacement, _ = _fit(seed=13)
+        save_model(replacement, path)
+        stat = path.stat()
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 10**9))
+
+        before = entry.model
+        with entry.reload_lock:  # simulate another thread mid-reload
+            assert registry.get("m") is before
+        (described,) = registry.describe()
+        assert described["loads"] == 1
+        # With the lock free, the next access reloads inline.
+        assert registry.get("m") is not before
+        (described,) = registry.describe()
+        assert described["loads"] == 2
+
     def test_check_mtime_off_never_reloads(self, fitted, tmp_path):
         model, X = fitted
         path = tmp_path / "m.json"
@@ -575,16 +644,38 @@ class TestServerMetricsUnit:
 
 
 class TestConcurrentScoring:
+    """Parallel clients must all see the same (current) model.
+
+    Historical flake, root-caused: the hot-reload test used to restore
+    the shared model file and bump its mtime *without* issuing another
+    request, leaving the registry holding the replacement model with a
+    reload pending.  The first registry access then happened inside
+    this test's six concurrent clients — and because
+    ``ModelRegistry._maybe_reload`` is non-blocking by design, exactly
+    one client performed the reload while any client that raced past
+    the lock was served the stale replacement model, failing the
+    array-equality assert.  Load-sensitive because the race window is
+    the reload's disk I/O.  The fix is in the hot-reload test (it now
+    forces the restore reload synchronously and asserts the original
+    scores are being served again before finishing); this test also
+    surfaces client-thread exceptions instead of burying them as
+    ``None`` results.
+    """
+
     def test_parallel_clients_get_consistent_answers(self, served):
         base, _, _, model, X = served
         expected = score_batch(model, X)
         results: list[np.ndarray] = [None] * 6  # type: ignore[list-item]
+        errors: list[tuple[int, BaseException]] = []
 
         def client(slot: int) -> None:
-            _, body = _post(
-                base + "/v1/models/demo/score", {"rows": X.tolist()}
-            )
-            results[slot] = np.asarray(body["scores"])
+            try:
+                _, body = _post(
+                    base + "/v1/models/demo/score", {"rows": X.tolist()}
+                )
+                results[slot] = np.asarray(body["scores"])
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append((slot, exc))
 
         threads = [
             threading.Thread(target=client, args=(i,)) for i in range(6)
@@ -593,5 +684,9 @@ class TestConcurrentScoring:
             thread.start()
         for thread in threads:
             thread.join(timeout=30)
+        assert not any(thread.is_alive() for thread in threads), (
+            "client threads still running after 30s"
+        )
+        assert not errors, f"client threads raised: {errors}"
         for got in results:
             np.testing.assert_array_equal(got, expected)

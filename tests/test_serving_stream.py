@@ -339,13 +339,56 @@ class TestStreamRankTopK:
         )
         assert top == full.top(7)
 
+    def test_k_zero_is_an_empty_wellformed_result(self, workload):
+        """``k=0`` must equal truncating the full ranking to nothing —
+        an empty list, with every row still counted (regression: this
+        used to raise)."""
+        from repro.core.scoring import build_ranking_list
+        from repro.serving import stream_rank_topk
+
+        model, _, csv_path, X, labels = workload
+        full = build_ranking_list(score_batch(model, X), labels=labels)
+        top, n_rows = stream_rank_topk(
+            model, csv_path, 0, chunk_size=40, label_column="id"
+        )
+        assert top == full.top(0) == []
+        assert n_rows == N_ROWS
+
+    def test_k_zero_still_validates_input(self, workload, tmp_path):
+        """The ``k=0`` fast path must keep the ``k>0`` validation
+        contract: a width mismatch fails, not silently count rows."""
+        from repro.serving import stream_rank_topk
+
+        model, _, _, X, labels = workload
+        model_no_names = RankingPrincipalCurve.from_dict(model.to_dict())
+        model_no_names.feature_names_ = None
+        narrow = tmp_path / "narrow.csv"
+        save_csv(narrow, labels, X[:, :2], ["a", "b"], label_column="id")
+        with pytest.raises(DataValidationError, match="model expects 3"):
+            stream_rank_topk(model_no_names, narrow, 0, label_column="id")
+
+    def test_k_beyond_row_count_equals_full_ranking(self, workload):
+        """``k > n`` must equal the whole (untruncated) ranking list,
+        byte for byte on every (label, score) pair."""
+        from repro.core.scoring import build_ranking_list
+        from repro.serving import stream_rank_topk
+
+        model, _, csv_path, X, labels = workload
+        full = build_ranking_list(score_batch(model, X), labels=labels)
+        top, n_rows = stream_rank_topk(
+            model, csv_path, N_ROWS + 1000, chunk_size=40, label_column="id"
+        )
+        assert n_rows == N_ROWS
+        assert len(top) == N_ROWS
+        assert top == full.top(N_ROWS + 1000)
+
     def test_bad_k_rejected(self, workload):
         from repro.core.exceptions import ConfigurationError
         from repro.serving import stream_rank_topk
 
         model, _, csv_path, _, _ = workload
-        with pytest.raises(ConfigurationError, match="k must be >= 1"):
-            stream_rank_topk(model, csv_path, 0, label_column="id")
+        with pytest.raises(ConfigurationError, match="k must be >= 0"):
+            stream_rank_topk(model, csv_path, -1, label_column="id")
 
 
 class TestCliTopK:
