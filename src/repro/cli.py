@@ -19,6 +19,9 @@ Usage::
 
     # long-running scoring daemon (JSON over HTTP)
     python -m repro serve --model wellbeing=model.json --port 8000
+    # pre-fork worker fleet with request micro-batching
+    python -m repro serve --model wellbeing=model.json --port 8000 \
+        --workers 4 --batch-window-ms 2
 
 The ``rank`` command loads a headered CSV (first column = labels by
 default), fits a Ranking Principal Curve with the given attribute
@@ -197,7 +200,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     serve = sub.add_parser(
-        "serve", help="run the long-running HTTP scoring daemon"
+        "serve",
+        help="run the long-running HTTP scoring daemon",
+        epilog="operations guide (worker sizing, batching trade-offs, "
+        "metrics semantics, TLS/auth proxy): docs/ops.md",
     )
     serve.add_argument(
         "--model",
@@ -216,9 +222,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers",
         type=int,
+        default=1,
+        help="worker processes sharing the listening socket "
+        "(pre-fork; default 1 = single-process daemon)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
         default=None,
         help="threads per scoring request for chunk dispatch "
         "(-1 = all cores; default serial)",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=0.0,
+        dest="batch_window_ms",
+        metavar="MS",
+        help="micro-batching: coalesce small concurrent /score and "
+        "/rank requests arriving within this window into one engine "
+        "call (responses stay byte-identical; 0 = off, the default)",
+    )
+    serve.add_argument(
+        "--max-batch-rows",
+        type=int,
+        default=None,
+        dest="max_batch_rows",
+        metavar="N",
+        help="rows per coalesced micro-batch before it is flushed "
+        "early; requests this large bypass batching (default 1024)",
     )
     serve.add_argument(
         "--chunk-size",
@@ -466,30 +498,83 @@ def parse_model_specs(specs: Sequence[str]) -> list[tuple[str, str]]:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
-    from repro.server import ModelRegistry, ScoringHTTPServer
+    from repro.server import (
+        ModelRegistry,
+        ScoringHTTPServer,
+        WorkerPool,
+        install_graceful_shutdown,
+    )
 
+    if args.workers < 1:
+        raise ConfigurationError(
+            f"--workers must be >= 1, got {args.workers}"
+        )
+    if args.batch_window_ms < 0:
+        raise ConfigurationError(
+            f"--batch-window-ms must be >= 0, got {args.batch_window_ms}"
+        )
+    specs = parse_model_specs(args.models)
+    # Load every model once up front, whatever the worker count: a
+    # missing or corrupt model file must fail the boot, not surface as
+    # a crash-looping worker fleet minutes later.
     registry = ModelRegistry(check_mtime=not args.no_reload)
-    for name, path in parse_model_specs(args.models):
+    for name, path in specs:
         entry = registry.register(name, path)
         state = "fitted" if entry.model.is_fitted else "NOT FITTED"
         print(f"registered {name!r} from {path} ({state})")
+
+    batch_window = args.batch_window_ms / 1e3
+
+    if args.workers > 1:
+        pool = WorkerPool(
+            specs,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            n_jobs=args.jobs,
+            batch_window=batch_window,
+            max_batch_rows=args.max_batch_rows,
+            check_mtime=not args.no_reload,
+        )
+        host, port = pool.bind()
+        print(
+            f"serving {len(registry)} model(s) on http://{host}:{port} "
+            f"with {args.workers} worker processes"
+        )
+        print("endpoints: /healthz /metrics /v1/models "
+              "/v1/models/<name>/score /v1/models/<name>/rank")
+        print("ops guide: docs/ops.md", flush=True)
+        code = pool.serve()
+        print("pool shut down")
+        return code
 
     server = ScoringHTTPServer(
         (args.host, args.port),
         registry,
         chunk_size=args.chunk_size,
-        n_jobs=args.workers,
+        n_jobs=args.jobs,
+        batch_window=batch_window,
+        max_batch_rows=args.max_batch_rows,
     )
     host, port = server.server_address[:2]
     print(f"serving {len(registry)} model(s) on http://{host}:{port}")
     print("endpoints: /healthz /metrics /v1/models "
           "/v1/models/<name>/score /v1/models/<name>/rank")
+    print("ops guide: docs/ops.md", flush=True)
+    # SIGTERM (systemd, docker stop, the pool's own drill) and SIGINT
+    # both drain gracefully: stop accepting, finish in-flight
+    # requests, close the socket, exit 0.
+    server.daemon_threads = False
+    server.block_on_close = True
+    install_graceful_shutdown(server)
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        print("shutting down")
+        server.serve_forever(poll_interval=0.05)
+    except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C race
+        pass
     finally:
         server.server_close()
+    print("shut down")
     return 0
 
 

@@ -44,6 +44,23 @@ from repro.linalg.horner import horner_batch, horner_pointwise
 from repro.linalg.polyroots import batched_minimize_on_interval
 
 
+def _row_invariant_product(X: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """``X @ B`` with per-row bits independent of ``X``'s row count.
+
+    BLAS picks different kernels (gemv vs gemm, different blocking) for
+    different ``M``, so ``(X @ B)[i]`` can differ in the last ulp
+    between a 1-row and an n-row call — which would leak through the
+    compiled coefficients and break the serving contract that scoring
+    is bit-identical however rows are chunked or micro-batched.
+    Unoptimized ``einsum`` reduces each output element over the (tiny)
+    contracted axis in a fixed order, independent of the row count;
+    the contracted dimension here is ``d`` or ``k + 1``, small enough
+    that the BLAS advantage is a few hundred microseconds per 4096-row
+    chunk — noise next to the solver iterations it feeds.
+    """
+    return np.einsum("ij,jk->ik", X, B)
+
+
 def curve_self_product_coefficients(C: np.ndarray) -> np.ndarray:
     """Ascending coefficients of ``s -> f(s) . f(s)``, shape ``(2k + 1,)``.
 
@@ -74,7 +91,7 @@ def squared_distance_coefficients(
     if ff is None:
         ff = curve_self_product_coefficients(C)
     coeffs = np.tile(ff, (X.shape[0], 1))
-    coeffs[:, : k + 1] -= 2.0 * (X @ C)
+    coeffs[:, : k + 1] -= 2.0 * _row_invariant_product(X, C)
     coeffs[:, 0] += np.sum(X**2, axis=1)
     return coeffs
 
@@ -179,8 +196,10 @@ class CompiledProjection:
 
         When the data view is available the ``(n, g)`` matrix is built
         as ``|x|^2 - 2 X F + colnorm(F)`` with ``F`` the curve sampled
-        on the grid from its power coefficients — one BLAS matmul
-        instead of ``2k`` Horner passes over all ``n * g`` entries.
+        on the grid from its power coefficients — one fused product
+        over the ambient dimension instead of ``2k`` Horner passes
+        over all ``n * g`` entries (row-invariant by construction, see
+        :func:`_row_invariant_product`).
         """
         grid = np.asarray(grid, dtype=float).ravel()
         if self._X is None or self._C is None:
@@ -190,10 +209,10 @@ class CompiledProjection:
         Z[0] = 1.0
         for j in range(1, k + 1):
             np.multiply(Z[j - 1], grid, out=Z[j])
-        F = self._C @ Z  # (d, g)
+        F = self._C @ Z  # (d, g) — no data rows involved, BLAS is fine
         return (
             self._sqnorm[:, np.newaxis]
-            - 2.0 * (self._X @ F)
+            - 2.0 * _row_invariant_product(self._X, F)
             + np.sum(F**2, axis=0)[np.newaxis, :]
         )
 
@@ -261,18 +280,26 @@ class CompiledProjection:
         same iterate as the curve-based formulation (``g = f'.(x - f)``)
         at a fraction of the cost.  Ends with the usual endpoint
         comparison so constrained optima at bracket edges survive.
+
+        Each row stops iterating the moment *its own* step falls below
+        ``tol`` (rather than when the batch-wide maximum does), so the
+        iterate a row ends on is independent of which other rows share
+        its batch — the bit-level batch-split invariance the serving
+        micro-batcher relies on when it coalesces rows from unrelated
+        requests into one solve.
         """
         s = np.asarray(s, dtype=float).copy()
+        active = np.ones(s.shape, dtype=bool)
         for _ in range(max_iter):
+            if not np.any(active):
+                break
             g = horner_pointwise(self.dcoeffs, s)
             dg = horner_pointwise(self.ddcoeffs, s)
-            safe = np.abs(dg) > 1e-14
+            safe = active & (np.abs(dg) > 1e-14)
             delta = np.zeros_like(s)
             delta[safe] = g[safe] / dg[safe]
             s_new = np.clip(s - delta, lo, hi)
-            if s.size == 0 or np.max(np.abs(s_new - s)) < tol:
-                s = s_new
-                break
+            active = active & (np.abs(s_new - s) >= tol)
             s = s_new
         candidates = np.stack([s, lo, hi], axis=-1)  # (n, 3)
         dists = horner_batch(self.coeffs, candidates)

@@ -131,6 +131,16 @@ def golden_section_search_batch(
     (the surviving point's objective value is carried over, not
     recomputed), so an iteration costs one ``func`` call over ``(n,)``
     plus branch-free ``np.where`` bookkeeping.
+
+    Each search freezes the moment *its own* bracket width reaches
+    ``tol`` — not when the whole batch does.  A row therefore runs an
+    iteration count determined solely by its own initial bracket, which
+    makes the result bit-identical however the rows are batched
+    (chunked vs one-shot scoring, and the serving micro-batcher that
+    coalesces rows from unrelated requests).  The earlier
+    batch-wide termination kept shrinking already-converged rows while
+    slower batchmates finished, so the same row could come back with
+    different last bits depending on what it shared a batch with.
     """
     lo = np.asarray(lo, dtype=float)
     hi = np.asarray(hi, dtype=float)
@@ -153,8 +163,9 @@ def golden_section_search_batch(
         fc = func(c)
         fd = func(d)
 
+    active = h > tol
     for _ in range(max_iter):
-        if np.all(h <= tol):
+        if not np.any(active):
             break
         left = fc < fd
         # Where the left interior point wins, shrink the bracket to
@@ -162,19 +173,22 @@ def golden_section_search_batch(
         # interior point; elsewhere shrink to [c, b] and reuse d as the
         # new left interior point.  Only the remaining interior point is
         # fresh, so each iteration costs a single objective evaluation.
-        a = np.where(left, a, c)
-        b = np.where(left, d, b)
+        # Rows whose own bracket already reached ``tol`` are frozen in
+        # place (batch-split invariance — see Notes).
+        a = np.where(active & ~left, c, a)
+        b = np.where(active & left, d, b)
         h = b - a
         fresh = np.where(left, a + INV_PHI2 * h, a + INV_PHI * h)
         f_fresh = func(fresh)
         c, d = (
-            np.where(left, fresh, d),
-            np.where(left, c, fresh),
+            np.where(active, np.where(left, fresh, d), c),
+            np.where(active, np.where(left, c, fresh), d),
         )
         fc, fd = (
-            np.where(left, f_fresh, fd),
-            np.where(left, fc, f_fresh),
+            np.where(active, np.where(left, f_fresh, fd), fc),
+            np.where(active, np.where(left, fc, f_fresh), fd),
         )
+        active = h > tol
 
     x = np.where(fc < fd, c, d)
     fx = np.minimum(fc, fd)

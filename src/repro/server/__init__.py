@@ -9,6 +9,14 @@ per connection, zero dependencies) exposes them over JSON endpoints;
 :class:`ServerMetrics` keeps request counts, latency percentiles and
 rows-scored totals for ``GET /metrics``.
 
+For heavy traffic the daemon scales out and coalesces: a
+:class:`WorkerPool` (``repro serve --workers N``) pre-forks workers
+that share the listening socket and aggregate their metrics through a
+:class:`SharedMetricsStore`, and a per-worker :class:`MicroBatcher`
+(``--batch-window-ms``) merges small concurrent scoring requests into
+single engine calls with byte-identical responses.  Operations guide
+(sizing, batching trade-offs, proxy TLS/auth): ``docs/ops.md``.
+
 Quickstart
 ----------
 >>> from repro.server import ModelRegistry, ScoringHTTPServer
@@ -28,12 +36,18 @@ The same daemon ships as a CLI subcommand::
     python -m repro serve --model wellbeing=model.json --port 8000
 """
 
+from repro.server.batching import MicroBatcher
 from repro.server.http import (
     MAX_BODY_BYTES,
     ScoringHTTPServer,
     ScoringRequestHandler,
 )
-from repro.server.metrics import ServerMetrics
+from repro.server.metrics import (
+    ServerMetrics,
+    SharedMetricsStore,
+    SharedMetricsWriter,
+)
+from repro.server.pool import WorkerPool, install_graceful_shutdown
 from repro.server.registry import (
     ModelRegistry,
     RegisteredModel,
@@ -42,10 +56,15 @@ from repro.server.registry import (
 
 __all__ = [
     "MAX_BODY_BYTES",
+    "MicroBatcher",
     "ModelRegistry",
     "RegisteredModel",
     "ScoringHTTPServer",
     "ScoringRequestHandler",
     "ServerMetrics",
+    "SharedMetricsStore",
+    "SharedMetricsWriter",
     "UnknownModelError",
+    "WorkerPool",
+    "install_graceful_shutdown",
 ]

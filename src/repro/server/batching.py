@@ -1,0 +1,249 @@
+"""Request micro-batching: coalesce small concurrent scoring calls.
+
+PR 3's projection engine made one *large* scoring call cheap, which
+moved the bottleneck for a busy daemon to the per-request overhead of
+many *small* calls: each one pays engine compilation (an ``X @ C``
+matmul on a handful of rows), a dozen tiny-array solver dispatches, and
+the GIL churn of a dedicated handler thread.  A ranking service fed by
+interactive clients sees exactly this shape — lots of concurrent 1-to-
+16-row requests — so the daemon amortises them: requests for the same
+model that arrive within a short window are concatenated into one
+:func:`~repro.serving.batch.score_batch` call and the result is
+scattered back per request.
+
+Correctness contract
+--------------------
+Micro-batching is invisible in the responses, bit for bit:
+
+* The projection solvers freeze each row at its *own* convergence
+  (see :func:`repro.linalg.golden_section.golden_section_search_batch`
+  and :meth:`repro.geometry.engine.CompiledProjection.newton_refine`),
+  so a row's score does not depend on which other rows share its
+  solve.  Concatenating requests therefore returns byte-identical
+  scores to scoring each request alone — pinned by the randomized
+  suite in ``tests/test_server_batching.py``.
+* Requests are only merged when they share the model *object* (a hot
+  reload mid-window splits batches, never mixes models) and the row
+  width, so a malformed request cannot poison the concatenation shape.
+* If the merged call raises anything (e.g. one request's rows contain
+  NaN), the batch falls back to scoring each request individually, so
+  errors land on exactly the requests that caused them with exactly
+  the message an unbatched call would have produced.
+
+The batcher adds at most ``window`` seconds of latency to the *first*
+request of a batch and typically much less to followers; ``window=0``
+disables coalescing entirely and every call scores synchronously.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+
+#: Default rows a single micro-batch may accumulate before it is
+#: flushed early; also the size above which a request bypasses
+#: batching entirely (large requests already amortise their overhead).
+DEFAULT_MAX_BATCH_ROWS = 1024
+
+
+class _Request:
+    """One caller's rows plus the slot its result lands in."""
+
+    __slots__ = ("X", "result", "error")
+
+    def __init__(self, X: np.ndarray):
+        self.X = X
+        self.result: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+
+
+class _Batch:
+    """An open micro-batch: members joined while the leader waits."""
+
+    __slots__ = ("members", "rows", "closed", "done", "full", "deadline")
+
+    def __init__(self, deadline: float):
+        self.members: List[_Request] = []
+        self.rows = 0
+        self.closed = False
+        self.done = threading.Event()
+        self.full = threading.Event()
+        self.deadline = deadline
+
+
+class MicroBatcher:
+    """Coalesces concurrent scoring calls for the same model.
+
+    Parameters
+    ----------
+    score_fn:
+        ``score_fn(model, X) -> scores`` — the underlying scoring call
+        (the daemon passes :func:`~repro.serving.batch.score_batch`
+        closed over its chunk/thread settings).
+    window:
+        Seconds the first request of a batch waits for company.  ``0``
+        disables batching: every call runs ``score_fn`` directly.
+    max_rows:
+        Flush a batch as soon as it holds this many rows, and bypass
+        batching for any single request at or above it.
+
+    Thread model: callers are the daemon's per-connection handler
+    threads.  The first caller for a (model, width) key becomes the
+    batch *leader*: it sleeps out the window (or until the batch
+    fills), executes the merged call, scatters results, and wakes the
+    followers, which were blocking on the batch's event.  No extra
+    threads are created.
+    """
+
+    def __init__(
+        self,
+        score_fn: Callable[[object, np.ndarray], np.ndarray],
+        window: float = 0.0,
+        max_rows: int = DEFAULT_MAX_BATCH_ROWS,
+    ):
+        window = float(window)
+        max_rows = int(max_rows)
+        if window < 0:
+            raise ConfigurationError(
+                f"batch window must be >= 0 seconds, got {window}"
+            )
+        if max_rows < 1:
+            raise ConfigurationError(
+                f"max_rows must be >= 1, got {max_rows}"
+            )
+        self._score_fn = score_fn
+        self.window = window
+        self.max_rows = max_rows
+        self._lock = threading.Lock()
+        self._pending: Dict[Tuple[int, int], _Batch] = {}
+        # Telemetry (guarded by the same lock).
+        self._requests_batched = 0
+        self._requests_direct = 0
+        self._batches_executed = 0
+        self._largest_batch = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def score(self, model, X: np.ndarray) -> np.ndarray:
+        """Score ``X`` with ``model``, possibly merged with other calls.
+
+        Blocks until this request's scores are available (at most the
+        window plus the merged call's own runtime) and returns exactly
+        what ``score_fn(model, X)`` would have — or raises exactly what
+        it would have raised.
+        """
+        X = np.asarray(X, dtype=float)
+        if (
+            self.window <= 0.0
+            or X.ndim != 2
+            or X.shape[0] == 0
+            or X.shape[0] >= self.max_rows
+        ):
+            with self._lock:
+                self._requests_direct += 1
+            return self._score_fn(model, X)
+
+        request = _Request(X)
+        key = (id(model), int(X.shape[1]))
+        with self._lock:
+            batch = self._pending.get(key)
+            if (
+                batch is not None
+                and not batch.closed
+                and batch.rows + X.shape[0] <= self.max_rows
+            ):
+                batch.members.append(request)
+                batch.rows += X.shape[0]
+                self._requests_batched += 1
+                if batch.rows >= self.max_rows:
+                    batch.full.set()
+                leader = False
+            else:
+                if batch is not None and not batch.closed:
+                    # The open batch cannot take these rows; flush it
+                    # early and start a fresh one it no longer owns.
+                    batch.full.set()
+                batch = _Batch(deadline=time.monotonic() + self.window)
+                batch.members.append(request)
+                batch.rows = int(X.shape[0])
+                self._pending[key] = batch
+                self._requests_batched += 1
+                leader = True
+
+        if leader:
+            self._lead(key, batch, model)
+        else:
+            batch.done.wait()
+        if request.error is not None:
+            raise request.error
+        assert request.result is not None
+        return request.result
+
+    def stats(self) -> dict:
+        """Telemetry counters (also surfaced under ``/metrics``)."""
+        with self._lock:
+            return {
+                "window_ms": round(self.window * 1e3, 3),
+                "max_rows": self.max_rows,
+                "requests_batched": self._requests_batched,
+                "requests_direct": self._requests_direct,
+                "batches_executed": self._batches_executed,
+                "largest_batch_requests": self._largest_batch,
+            }
+
+    # ------------------------------------------------------------------
+    # Leader path
+    # ------------------------------------------------------------------
+    def _lead(self, key, batch: _Batch, model) -> None:
+        """Wait out the window, close the batch, execute, scatter."""
+        while not batch.full.is_set():
+            remaining = batch.deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            batch.full.wait(remaining)
+        with self._lock:
+            batch.closed = True
+            if self._pending.get(key) is batch:
+                del self._pending[key]
+            members = list(batch.members)
+            self._batches_executed += 1
+            self._largest_batch = max(self._largest_batch, len(members))
+        try:
+            self._execute(model, members)
+        finally:
+            batch.done.set()
+
+    def _execute(self, model, members: List[_Request]) -> None:
+        """One merged call; per-request fallback on any failure."""
+        if len(members) == 1:
+            only = members[0]
+            try:
+                only.result = self._score_fn(model, only.X)
+            except BaseException as exc:  # noqa: BLE001 - rethrown by caller
+                only.error = exc
+            return
+        try:
+            merged = self._score_fn(
+                model, np.concatenate([m.X for m in members], axis=0)
+            )
+        except BaseException:  # noqa: BLE001 - isolate the poisoned request
+            # One request's rows made the merged call fail (NaN rows,
+            # say).  Score each request alone so the error hits only
+            # its owner, with the exact unbatched message.
+            for member in members:
+                try:
+                    member.result = self._score_fn(model, member.X)
+                except BaseException as exc:  # noqa: BLE001
+                    member.error = exc
+            return
+        offset = 0
+        for member in members:
+            n = member.X.shape[0]
+            member.result = merged[offset:offset + n]
+            offset += n

@@ -26,7 +26,9 @@ Endpoints
 Error contract: malformed JSON or a body of the wrong shape is ``400``;
 an unregistered model name is ``404``; structurally valid input the
 model rejects (wrong attribute count, NaN) is ``422``; a registered but
-unfitted model is ``409``.  Every error body is ``{"error": "..."}``.
+unfitted model is ``409``; a body that stalls past the keep-alive
+timeout is ``408`` (and closes the connection).  Every error body is
+``{"error": "..."}``.
 
 Request tracing: every response carries an ``X-Request-Id`` header —
 the client's own header echoed when it looks like a sane trace token,
@@ -50,6 +52,8 @@ from __future__ import annotations
 
 import json
 import re
+import socket
+import threading
 import time
 import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -64,7 +68,8 @@ from repro.core.exceptions import (
     NotFittedError,
 )
 from repro.core.scoring import build_ranking_list
-from repro.server.metrics import ServerMetrics
+from repro.server.batching import MicroBatcher
+from repro.server.metrics import ServerMetrics, SharedMetricsStore
 from repro.server.registry import ModelRegistry, UnknownModelError
 from repro.serving.batch import (
     _validate_chunk_size,
@@ -110,6 +115,26 @@ class ScoringHTTPServer(ThreadingHTTPServer):
         Worker threads per scoring request (see :func:`score_batch`).
     metrics:
         Optional shared :class:`ServerMetrics`; a fresh one otherwise.
+    batch_window:
+        Seconds a small scoring request may wait to be coalesced with
+        concurrent ones into a single engine call (the micro-batcher,
+        :mod:`repro.server.batching`).  ``0`` (the default) scores
+        every request synchronously.
+    max_batch_rows:
+        Row bound per micro-batch; requests at or above it bypass
+        coalescing.
+    listen_socket:
+        An already-listening socket to serve on *instead of* binding
+        ``address`` — how :mod:`repro.server.pool` workers share one
+        socket inherited from the pre-fork parent.
+    metrics_reader:
+        Optional :class:`SharedMetricsStore`; when given,
+        ``GET /metrics`` reports fleet-wide totals merged across every
+        worker slot instead of only this process's counters.
+    keepalive_timeout:
+        Seconds an idle keep-alive connection may sit between requests
+        before its handler thread closes it; also bounds how long a
+        graceful drain can wait on idle connections.
     """
 
     daemon_threads = True
@@ -121,17 +146,108 @@ class ScoringHTTPServer(ThreadingHTTPServer):
         chunk_size: Optional[int] = None,
         n_jobs: Optional[int] = None,
         metrics: Optional[ServerMetrics] = None,
+        batch_window: float = 0.0,
+        max_batch_rows: Optional[int] = None,
+        listen_socket: Optional[socket.socket] = None,
+        metrics_reader: Optional[SharedMetricsStore] = None,
+        keepalive_timeout: float = 30.0,
     ):
         # Fail fast on misconfiguration: a daemon that boots "healthy"
         # and then 400s every scoring request blames the client for an
         # operator mistake.  Validate before binding the socket.
         _validate_chunk_size(chunk_size)
         _validate_n_jobs(n_jobs)
-        super().__init__(address, ScoringRequestHandler)
+        self.batcher: Optional[MicroBatcher] = None
+        if batch_window and batch_window > 0.0:
+            self.batcher = MicroBatcher(
+                lambda model, X: score_batch(
+                    model, X, chunk_size=chunk_size, n_jobs=n_jobs
+                ),
+                window=float(batch_window),
+                **(
+                    {"max_rows": int(max_batch_rows)}
+                    if max_batch_rows is not None
+                    else {}
+                ),
+            )
+        if listen_socket is None:
+            super().__init__(address, ScoringRequestHandler)
+        else:
+            # Pre-fork worker mode: adopt the parent's listening socket
+            # instead of binding a fresh one.  ``server_bind`` /
+            # ``server_activate`` are skipped; replicate the bits of
+            # ``HTTPServer.server_bind`` the handler relies on.
+            super().__init__(
+                listen_socket.getsockname()[:2],
+                ScoringRequestHandler,
+                bind_and_activate=False,
+            )
+            self.socket.close()
+            self.socket = listen_socket
+            self.server_address = listen_socket.getsockname()
+            host, port = self.server_address[:2]
+            self.server_name = host
+            self.server_port = port
         self.registry = registry
         self.chunk_size = chunk_size
         self.n_jobs = n_jobs
         self.metrics = metrics if metrics is not None else ServerMetrics()
+        self.metrics_reader = metrics_reader
+        self.keepalive_timeout = float(keepalive_timeout)
+        self._draining = threading.Event()
+        self._handlers_lock = threading.Lock()
+        self._handlers: set = set()
+
+    @property
+    def is_draining(self) -> bool:
+        return self._draining.is_set()
+
+    def begin_drain(self) -> None:
+        """Start winding down every open connection.
+
+        Two halves: responses sent from now on carry ``Connection:
+        close`` (so busy connections end after their in-flight
+        request), and connections currently *idle between requests* —
+        handler threads parked in the next-request read, which would
+        otherwise only wake at ``keepalive_timeout`` and hold up the
+        thread join in ``server_close()`` — get their read side shut
+        down, which surfaces as a clean EOF to the parked thread.  A
+        request whose headers have been received (the handler has
+        dispatched into ``do_GET``/``do_POST``) is never touched —
+        its body may still be arriving and it drains by finishing —
+        while a connection still transmitting its request line or
+        headers when the drain starts is closed, like any other idle
+        connection.  Called by the graceful-shutdown path before
+        ``shutdown()`` / ``server_close()``.
+        """
+        self._draining.set()
+        with self._handlers_lock:
+            parked = [
+                handler
+                for handler in self._handlers
+                if getattr(handler, "_between_requests", False)
+            ]
+        for handler in parked:
+            try:
+                handler.connection.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass  # already closing on its own
+
+    def _track_handler(self, handler) -> None:
+        with self._handlers_lock:
+            self._handlers.add(handler)
+
+    def _untrack_handler(self, handler) -> None:
+        with self._handlers_lock:
+            self._handlers.discard(handler)
+
+    def score(self, model, X: np.ndarray) -> np.ndarray:
+        """Score a request body, through the micro-batcher when on."""
+        if self.batcher is not None:
+            return self.batcher.score(model, X)
+        return score_batch(
+            model, X, chunk_size=self.chunk_size, n_jobs=self.n_jobs
+        )
 
 
 class ScoringRequestHandler(BaseHTTPRequestHandler):
@@ -141,10 +257,44 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1"
     protocol_version = "HTTP/1.1"
 
+    def setup(self) -> None:
+        # Idle keep-alive connections must not pin handler threads
+        # forever: the read for the *next* request on a kept-alive
+        # connection times out after ``keepalive_timeout`` seconds
+        # (``handle_one_request`` then closes the connection).  A
+        # graceful drain does not wait for that: the server tracks
+        # handlers so ``begin_drain`` can wake the parked ones now.
+        self.timeout = self.server.keepalive_timeout
+        self._between_requests = True
+        super().setup()
+        self.server._track_handler(self)
+
+    def finish(self) -> None:
+        self.server._untrack_handler(self)
+        super().finish()
+
+    def handle_one_request(self) -> None:
+        # Mark parked *before* checking the drain flag: whichever of
+        # this thread and ``begin_drain`` runs second then sees the
+        # other's write — either the drain scan finds the flag and
+        # shuts this connection's read side, or this check sees the
+        # drain and exits — so a connection can never slip between the
+        # one-shot scan and the park.
+        self._between_requests = True
+        if self.server.is_draining:
+            # Never park waiting for another request — any connection
+            # reaching this point either already got its
+            # ``Connection: close`` response or connected after the
+            # drain began, and closing beats holding the join hostage.
+            self.close_connection = True
+            return
+        super().handle_one_request()
+
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._between_requests = False  # in a request: drain must wait
         self._request_id = self._resolve_request_id()
         path = urlsplit(self.path).path
         if path == "/healthz":
@@ -169,6 +319,7 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
             )
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._between_requests = False  # in a request: drain must wait
         self._request_id = self._resolve_request_id()
         path = urlsplit(self.path).path
         match = _MODEL_ROUTE.match(path)
@@ -207,7 +358,22 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
         }, 0
 
     def _get_metrics(self) -> Tuple[int, dict, int]:
-        return 200, self.server.metrics.snapshot(), 0
+        snapshot = self.server.metrics.snapshot()
+        if self.server.metrics_reader is not None:
+            # Multi-worker mode: totals, per-endpoint counters and
+            # latency percentiles are fleet-wide (merged across every
+            # worker slot of the shared store).  ``recent_errors`` and
+            # ``uptime_seconds`` stay per-worker — the error ring holds
+            # free-form request ids that do not fit fixed shared cells
+            # — so the payload notes which worker answered.
+            merged = self.server.metrics_reader.merged()
+            merged["workers"]["serving_slot"] = getattr(
+                self.server, "worker_slot", None
+            )
+            snapshot.update(merged)
+        if self.server.batcher is not None:
+            snapshot["micro_batcher"] = self.server.batcher.stats()
+        return 200, snapshot, 0
 
     def _get_models(self) -> Tuple[int, dict, int]:
         return 200, {"models": self.server.registry.describe()}, 0
@@ -228,12 +394,7 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
                 409, str(NotFittedError("RankingPrincipalCurve"))
             )
         try:
-            scores = score_batch(
-                model,
-                X,
-                chunk_size=self.server.chunk_size,
-                n_jobs=self.server.n_jobs,
-            )
+            scores = self.server.score(model, X)
         except NotFittedError as exc:
             raise _RequestError(409, str(exc)) from None
         except DataValidationError as exc:
@@ -282,7 +443,38 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
             raise _RequestError(
                 413, f"body of {n_bytes} bytes exceeds {MAX_BODY_BYTES}"
             )
-        raw = self.rfile.read(n_bytes)
+        # Bound the *whole* body read by the keep-alive timeout, not
+        # just each recv: a client dripping one chunk every few
+        # seconds would otherwise evade the per-recv socket timeout
+        # and pin this handler thread (and any graceful drain, which
+        # deliberately never cuts an in-request connection) for as
+        # long as it pleases.  On timeout the client gets a definite
+        # 408 and the connection closes — responding and then reusing
+        # a half-read connection would desync keep-alive framing.
+        deadline = time.monotonic() + self.server.keepalive_timeout
+        parts = []
+        remaining = n_bytes
+        try:
+            while remaining > 0:
+                budget = deadline - time.monotonic()
+                if budget <= 0:
+                    raise TimeoutError
+                self.connection.settimeout(budget)
+                chunk = self.rfile.read(min(remaining, 1 << 16))
+                if not chunk:
+                    break  # client closed early; JSON parsing will 400
+                parts.append(chunk)
+                remaining -= len(chunk)
+        except TimeoutError:
+            self.close_connection = True
+            raise _RequestError(
+                408,
+                f"timed out reading the request body "
+                f"({self.server.keepalive_timeout:g}s)",
+            ) from None
+        finally:
+            self.connection.settimeout(self.server.keepalive_timeout)
+        raw = b"".join(parts)
         try:
             body = json.loads(raw)
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
@@ -386,6 +578,11 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
         request_id = getattr(self, "_request_id", None)
         if request_id is not None:
             self.send_header("X-Request-Id", request_id)
+        if self.server.is_draining:
+            # Graceful shutdown: finish this response, then close the
+            # connection instead of waiting for another request on it.
+            self.close_connection = True
+            self.send_header("Connection", "close")
         for key, value in (headers or {}).items():
             self.send_header(key, value)
         self.end_headers()

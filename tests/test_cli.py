@@ -54,13 +54,45 @@ class TestServeParser:
                 "--model", "journals=j.npz",
                 "--port", "9001",
                 "--workers", "4",
+                "--jobs", "2",
+                "--batch-window-ms", "2.5",
+                "--max-batch-rows", "512",
             ]
         )
         assert args.command == "serve"
         assert args.models == ["wellbeing=m.json", "journals=j.npz"]
         assert args.port == 9001
+        # --workers is the pre-fork process count; per-request chunk
+        # threads moved to --jobs (mirroring `score --jobs`).
         assert args.workers == 4
+        assert args.jobs == 2
+        assert args.batch_window_ms == 2.5
+        assert args.max_batch_rows == 512
         assert args.host == "127.0.0.1"
+
+    def test_serve_defaults_are_single_process_unbatched(self):
+        args = build_parser().parse_args(["serve", "--model", "m=m.json"])
+        assert args.workers == 1
+        assert args.jobs is None
+        assert args.batch_window_ms == 0.0
+        assert args.max_batch_rows is None
+
+    def test_serve_rejects_bad_worker_and_window_counts(self, tmp_path):
+        import numpy as np
+
+        from repro import RankingPrincipalCurve
+        from repro.serving import save_model
+
+        path = tmp_path / "m.json"
+        save_model(
+            RankingPrincipalCurve(alpha=np.array([1.0, -1.0])), path
+        )
+        assert main(
+            ["serve", "--model", f"m={path}", "--workers", "0"]
+        ) == 2
+        assert main(
+            ["serve", "--model", f"m={path}", "--batch-window-ms", "-1"]
+        ) == 2
 
     def test_serve_requires_a_model(self):
         with pytest.raises(SystemExit):

@@ -307,6 +307,88 @@ class TestErrorContract:
             response = sock.recv(4096).decode()
         assert response.startswith("HTTP/1.1 400")
 
+    def test_stalled_body_is_408_and_closes_connection(self, fitted, tmp_path):
+        # A client that sends headers but stalls mid-body must not pin
+        # its handler thread (or get a desynced 500): after the
+        # keep-alive timeout the daemon answers 408 and closes.
+        import socket
+
+        model, _ = fitted
+        path = tmp_path / "m.json"
+        save_model(model, path)
+        registry = ModelRegistry()
+        registry.register("m", path)
+        server = ScoringHTTPServer(
+            ("127.0.0.1", 0), registry, keepalive_timeout=0.4
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            with socket.create_connection((host, port), timeout=10) as sock:
+                sock.settimeout(10)
+                sock.sendall(
+                    b"POST /v1/models/m/score HTTP/1.1\r\n"
+                    b"Host: x\r\nContent-Length: 100\r\n\r\n"
+                    b'{"row": [1.0, '  # ... and never finish
+                )
+                raw = b""
+                while True:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    raw += chunk
+            head, _, payload = raw.partition(b"\r\n\r\n")
+            assert head.startswith(b"HTTP/1.1 408"), head[:200]
+            assert b"timed out" in payload
+
+            # Drip-feeding chunks must not reset the clock: the
+            # deadline covers the whole body, so a slowloris-style
+            # trickle is cut off just the same.
+            import time as _time
+
+            with socket.create_connection((host, port), timeout=10) as sock:
+                sock.settimeout(10)
+                sock.sendall(
+                    b"POST /v1/models/m/score HTTP/1.1\r\n"
+                    b"Host: x\r\nContent-Length: 4000\r\n\r\n"
+                )
+                started = _time.monotonic()
+                raw = b""
+                for _ in range(40):
+                    try:
+                        sock.sendall(b'{"ro')
+                    except OSError:
+                        break  # server already closed its read side
+                    _time.sleep(0.05)
+                    try:
+                        sock.settimeout(0.01)
+                        chunk = sock.recv(4096)
+                        sock.settimeout(10)
+                        if chunk:
+                            raw += chunk
+                            break
+                    except TimeoutError:
+                        sock.settimeout(10)
+                sock.settimeout(10)
+                while True:
+                    try:
+                        chunk = sock.recv(4096)
+                    except OSError:
+                        break
+                    if not chunk:
+                        break
+                    raw += chunk
+            assert raw.partition(b"\r\n\r\n")[0].startswith(
+                b"HTTP/1.1 408"
+            ), raw[:200]
+            # ... and within ~the keep-alive budget, not the full drip.
+            assert _time.monotonic() - started < 5.0
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
     def test_unfitted_model_is_409(self, tmp_path):
         path = tmp_path / "unfitted.json"
         save_model(RankingPrincipalCurve(alpha=ALPHA), path)
