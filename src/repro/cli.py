@@ -203,7 +203,8 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="run the long-running HTTP scoring daemon",
         epilog="operations guide (worker sizing, batching trade-offs, "
-        "metrics semantics, TLS/auth proxy): docs/ops.md",
+        "overload behaviour and tuning, metrics semantics, TLS/auth "
+        "proxy): docs/ops.md",
     )
     serve.add_argument(
         "--model",
@@ -241,7 +242,10 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MS",
         help="micro-batching: coalesce small concurrent /score and "
         "/rank requests arriving within this window into one engine "
-        "call (responses stay byte-identical; 0 = off, the default)",
+        "call (responses stay byte-identical; 0 = off, the default). "
+        "Under the default adaptive policy this is the window CAP: "
+        "the live window grows toward it under load and collapses to "
+        "zero when traffic is sparse",
     )
     serve.add_argument(
         "--max-batch-rows",
@@ -251,6 +255,60 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="rows per coalesced micro-batch before it is flushed "
         "early; requests this large bypass batching (default 1024)",
+    )
+    serve.add_argument(
+        "--batch-policy",
+        choices=("adaptive", "fixed"),
+        default="adaptive",
+        dest="batch_policy",
+        help="micro-batch window policy: 'adaptive' (default) scales "
+        "the coalescing window with queue depth, 'fixed' always waits "
+        "the full --batch-window-ms",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        dest="max_inflight",
+        metavar="N",
+        help="admission control: concurrently admitted scoring "
+        "requests per worker before new ones are shed with 429 + "
+        "Retry-After (0 = unbounded; default 64)",
+    )
+    serve.add_argument(
+        "--max-inflight-per-model",
+        type=int,
+        default=0,
+        dest="max_inflight_per_model",
+        metavar="N",
+        help="per-model concurrency quota so one hot model cannot "
+        "starve the rest (0 = no per-model quota, the default)",
+    )
+    serve.add_argument(
+        "--retry-after",
+        type=float,
+        default=None,
+        dest="retry_after",
+        metavar="SECONDS",
+        help="Retry-After advice attached to shed (429) responses "
+        "(default 1)",
+    )
+    serve.add_argument(
+        "--keepalive-timeout",
+        type=float,
+        default=30.0,
+        dest="keepalive_timeout",
+        metavar="SECONDS",
+        help="idle seconds before a kept-alive connection is closed; "
+        "must be > 0 (default 30)",
+    )
+    serve.add_argument(
+        "--tuning-file",
+        default=None,
+        dest="tuning_file",
+        metavar="PATH",
+        help="JSON file of batching/admission knobs re-read on SIGHUP "
+        "for zero-downtime retuning (see docs/ops.md)",
     )
     serve.add_argument(
         "--chunk-size",
@@ -503,6 +561,12 @@ def _run_serve(args: argparse.Namespace) -> int:
         ScoringHTTPServer,
         WorkerPool,
         install_graceful_shutdown,
+        install_tuning_reload,
+        load_tuning_file,
+    )
+    from repro.server.admission import (
+        DEFAULT_MAX_INFLIGHT,
+        DEFAULT_RETRY_AFTER,
     )
 
     if args.workers < 1:
@@ -513,6 +577,20 @@ def _run_serve(args: argparse.Namespace) -> int:
         raise ConfigurationError(
             f"--batch-window-ms must be >= 0, got {args.batch_window_ms}"
         )
+    if args.tuning_file is not None:
+        # Fail the boot on an unreadable or invalid tuning file rather
+        # than discovering it at the first SIGHUP under load.
+        load_tuning_file(args.tuning_file)
+    max_inflight = (
+        DEFAULT_MAX_INFLIGHT
+        if args.max_inflight is None
+        else args.max_inflight
+    )
+    retry_after = (
+        DEFAULT_RETRY_AFTER
+        if args.retry_after is None
+        else args.retry_after
+    )
     specs = parse_model_specs(args.models)
     # Load every model once up front, whatever the worker count: a
     # missing or corrupt model file must fail the boot, not surface as
@@ -535,6 +613,12 @@ def _run_serve(args: argparse.Namespace) -> int:
             n_jobs=args.jobs,
             batch_window=batch_window,
             max_batch_rows=args.max_batch_rows,
+            batch_policy=args.batch_policy,
+            max_inflight=max_inflight,
+            max_inflight_per_model=args.max_inflight_per_model,
+            retry_after=retry_after,
+            keepalive_timeout=args.keepalive_timeout,
+            tuning_file=args.tuning_file,
             check_mtime=not args.no_reload,
         )
         host, port = pool.bind()
@@ -556,6 +640,11 @@ def _run_serve(args: argparse.Namespace) -> int:
         n_jobs=args.jobs,
         batch_window=batch_window,
         max_batch_rows=args.max_batch_rows,
+        batch_policy=args.batch_policy,
+        max_inflight=max_inflight,
+        max_inflight_per_model=args.max_inflight_per_model,
+        retry_after=retry_after,
+        keepalive_timeout=args.keepalive_timeout,
     )
     host, port = server.server_address[:2]
     print(f"serving {len(registry)} model(s) on http://{host}:{port}")
@@ -568,6 +657,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     server.daemon_threads = False
     server.block_on_close = True
     install_graceful_shutdown(server)
+    install_tuning_reload(server, args.tuning_file)
     try:
         server.serve_forever(poll_interval=0.05)
     except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C race

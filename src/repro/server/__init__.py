@@ -36,7 +36,17 @@ The same daemon ships as a CLI subcommand::
     python -m repro serve --model wellbeing=model.json --port 8000
 """
 
-from repro.server.batching import MicroBatcher
+from repro.server.admission import (
+    AdmissionController,
+    RequestShed,
+    load_tuning_file,
+    validate_tuning,
+)
+from repro.server.batching import (
+    AdaptiveWindowController,
+    BatchAbortedError,
+    MicroBatcher,
+)
 from repro.server.http import (
     MAX_BODY_BYTES,
     ScoringHTTPServer,
@@ -47,7 +57,11 @@ from repro.server.metrics import (
     SharedMetricsStore,
     SharedMetricsWriter,
 )
-from repro.server.pool import WorkerPool, install_graceful_shutdown
+from repro.server.pool import (
+    WorkerPool,
+    install_graceful_shutdown,
+    install_tuning_reload,
+)
 from repro.server.registry import (
     ModelRegistry,
     RegisteredModel,
@@ -56,9 +70,13 @@ from repro.server.registry import (
 
 __all__ = [
     "MAX_BODY_BYTES",
+    "AdaptiveWindowController",
+    "AdmissionController",
+    "BatchAbortedError",
     "MicroBatcher",
     "ModelRegistry",
     "RegisteredModel",
+    "RequestShed",
     "ScoringHTTPServer",
     "ScoringRequestHandler",
     "ServerMetrics",
@@ -67,4 +85,7 @@ __all__ = [
     "UnknownModelError",
     "WorkerPool",
     "install_graceful_shutdown",
+    "install_tuning_reload",
+    "load_tuning_file",
+    "validate_tuning",
 ]

@@ -11,6 +11,19 @@ model that arrive within a short window are concatenated into one
 :func:`~repro.serving.batch.score_batch` call and the result is
 scattered back per request.
 
+Window policy
+-------------
+The window itself is adaptive by default (``policy="adaptive"``): the
+configured ``window`` is only a *cap*, and the effective coalescing
+wait is driven by an :class:`AdaptiveWindowController` that grows the
+window multiplicatively while batches keep finding company (or close
+full, or leave requests queued behind them) and halves it back toward
+zero the moment they stop.  An idle service therefore pays no added
+latency at all — single requests flush immediately — while a saturated
+one converges to the cap within a handful of flushes and gets the full
+amortisation.  ``policy="fixed"`` restores the PR 5 behaviour: every
+leader waits out the whole configured window.
+
 Correctness contract
 --------------------
 Micro-batching is invisible in the responses, bit for bit:
@@ -25,10 +38,14 @@ Micro-batching is invisible in the responses, bit for bit:
 * Requests are only merged when they share the model *object* (a hot
   reload mid-window splits batches, never mixes models) and the row
   width, so a malformed request cannot poison the concatenation shape.
-* If the merged call raises anything (e.g. one request's rows contain
-  NaN), the batch falls back to scoring each request individually, so
-  errors land on exactly the requests that caused them with exactly
-  the message an unbatched call would have produced.
+* If the merged call raises an :class:`Exception` (e.g. one request's
+  rows contain NaN), the batch falls back to scoring each request
+  individually, so errors land on exactly the requests that caused
+  them with exactly the message an unbatched call would have produced.
+  A :class:`BaseException` (``KeyboardInterrupt``, ``SystemExit``) is
+  *not* absorbed into that fallback: it propagates out of the leader —
+  shutdown must never stall behind an N-way rescore — and followers
+  are woken with a :class:`BatchAbortedError`.
 
 The batcher adds at most ``window`` seconds of latency to the *first*
 request of a batch and typically much less to followers; ``window=0``
@@ -49,6 +66,74 @@ from repro.core.exceptions import ConfigurationError
 #: flushed early; also the size above which a request bypasses
 #: batching entirely (large requests already amortise their overhead).
 DEFAULT_MAX_BATCH_ROWS = 1024
+
+#: Recognised window policies.
+WINDOW_POLICIES = ("adaptive", "fixed")
+
+
+class BatchAbortedError(RuntimeError):
+    """The batch leader died before scattering results.
+
+    Raised to follower requests whose leader was torn down by a
+    ``BaseException`` (``KeyboardInterrupt`` during the merged call,
+    say) — the leader re-raises the original, followers get this.
+    """
+
+
+class AdaptiveWindowController:
+    """Feedback controller for the coalescing window.
+
+    The effective window starts at zero and is updated once per flush,
+    under the batcher's lock:
+
+    * a *busy* flush — more than one member, closed full, or further
+      requests already queued behind it — doubles the window (seeding
+      at ``cap / 64``), saturating at the configured cap;
+    * a *lonely* flush — one member, nothing waiting — halves it, and
+      snaps to exactly zero below ``cap / 1024`` so an idle service
+      coalesces (and waits) not at all.
+
+    Multiplicative growth reaches the cap from a cold start in ~6
+    flushes, so a load spike is met within a few milliseconds of
+    serving it, and the same geometry collapses the window just as
+    fast when the spike passes.
+    """
+
+    _GROW_SEED = 1.0 / 64.0
+    _COLLAPSE_BELOW = 1.0 / 1024.0
+
+    def __init__(self, cap: float, max_rows: int):
+        self.cap = float(cap)
+        self.max_rows = int(max_rows)
+        self._window = 0.0
+
+    def window(self) -> float:
+        """Seconds the next batch leader should wait for company."""
+        return self._window
+
+    def on_flush(self, n_requests: int, n_rows: int, depth: int) -> None:
+        """Feed one executed batch back into the controller.
+
+        Parameters: the batch's member-request count and total rows,
+        and ``depth`` — requests still in flight behind it when it
+        closed (the queue-pressure signal).
+        """
+        busy = n_requests > 1 or n_rows >= self.max_rows or depth > 0
+        if busy:
+            self._window = min(
+                self.cap,
+                max(self._window * 2.0, self.cap * self._GROW_SEED),
+            )
+        else:
+            shrunk = self._window / 2.0
+            self._window = (
+                0.0 if shrunk < self.cap * self._COLLAPSE_BELOW else shrunk
+            )
+
+    def reconfigure(self, cap: float, max_rows: int) -> None:
+        self.cap = float(cap)
+        self.max_rows = int(max_rows)
+        self._window = min(self._window, self.cap)
 
 
 class _Request:
@@ -86,11 +171,22 @@ class MicroBatcher:
         (the daemon passes :func:`~repro.serving.batch.score_batch`
         closed over its chunk/thread settings).
     window:
-        Seconds the first request of a batch waits for company.  ``0``
-        disables batching: every call runs ``score_fn`` directly.
+        Cap in seconds on how long the first request of a batch waits
+        for company.  ``0`` disables batching: every call runs
+        ``score_fn`` directly.
     max_rows:
         Flush a batch as soon as it holds this many rows, and bypass
         batching for any single request at or above it.
+    policy:
+        ``"adaptive"`` (default) drives the effective window with an
+        :class:`AdaptiveWindowController` — zero when idle, growing
+        toward ``window`` under queue pressure.  ``"fixed"`` always
+        waits the full ``window``.
+    on_flush:
+        Optional ``on_flush(n_requests, n_rows)`` callback invoked
+        (under the batcher lock) after each merged execution — the
+        daemon uses it to mirror batch-fill telemetry into the shared
+        fleet metrics store.
 
     Thread model: callers are the daemon's per-connection handler
     threads.  The first caller for a (model, width) key becomes the
@@ -105,6 +201,8 @@ class MicroBatcher:
         score_fn: Callable[[object, np.ndarray], np.ndarray],
         window: float = 0.0,
         max_rows: int = DEFAULT_MAX_BATCH_ROWS,
+        policy: str = "adaptive",
+        on_flush: Optional[Callable[[int, int], None]] = None,
     ):
         window = float(window)
         max_rows = int(max_rows)
@@ -116,16 +214,26 @@ class MicroBatcher:
             raise ConfigurationError(
                 f"max_rows must be >= 1, got {max_rows}"
             )
+        if policy not in WINDOW_POLICIES:
+            raise ConfigurationError(
+                f"batch policy must be one of {WINDOW_POLICIES}, "
+                f"got {policy!r}"
+            )
         self._score_fn = score_fn
         self.window = window
         self.max_rows = max_rows
+        self.policy = policy
+        self._controller = AdaptiveWindowController(window, max_rows)
+        self._on_flush = on_flush
         self._lock = threading.Lock()
         self._pending: Dict[Tuple[int, int], _Batch] = {}
         # Telemetry (guarded by the same lock).
+        self._inflight = 0
         self._requests_batched = 0
         self._requests_direct = 0
         self._batches_executed = 0
         self._largest_batch = 0
+        self._largest_batch_rows = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -152,6 +260,7 @@ class MicroBatcher:
         request = _Request(X)
         key = (id(model), int(X.shape[1]))
         with self._lock:
+            self._inflight += 1
             batch = self._pending.get(key)
             if (
                 batch is not None
@@ -169,37 +278,102 @@ class MicroBatcher:
                     # The open batch cannot take these rows; flush it
                     # early and start a fresh one it no longer owns.
                     batch.full.set()
-                batch = _Batch(deadline=time.monotonic() + self.window)
+                batch = _Batch(
+                    deadline=time.monotonic() + self._effective_window()
+                )
                 batch.members.append(request)
                 batch.rows = int(X.shape[0])
                 self._pending[key] = batch
                 self._requests_batched += 1
                 leader = True
 
-        if leader:
-            self._lead(key, batch, model)
-        else:
-            batch.done.wait()
+        try:
+            if leader:
+                self._lead(key, batch, model)
+            else:
+                batch.done.wait()
+        finally:
+            with self._lock:
+                self._inflight -= 1
         if request.error is not None:
             raise request.error
-        assert request.result is not None
+        if request.result is None:
+            # The leader was torn down by a BaseException before it
+            # could scatter results (its finally woke us regardless).
+            raise BatchAbortedError(
+                "micro-batch leader aborted before scattering results"
+            )
         return request.result
 
     def stats(self) -> dict:
         """Telemetry counters (also surfaced under ``/metrics``)."""
         with self._lock:
+            current = (
+                self._controller.window()
+                if self.policy == "adaptive"
+                else self.window
+            )
             return {
+                "policy": self.policy,
                 "window_ms": round(self.window * 1e3, 3),
+                "current_window_ms": round(current * 1e3, 3),
+                "queue_depth": self._inflight,
                 "max_rows": self.max_rows,
                 "requests_batched": self._requests_batched,
                 "requests_direct": self._requests_direct,
                 "batches_executed": self._batches_executed,
                 "largest_batch_requests": self._largest_batch,
+                "largest_batch_rows": self._largest_batch_rows,
+            }
+
+    def reconfigure(
+        self,
+        window: Optional[float] = None,
+        max_rows: Optional[int] = None,
+        policy: Optional[str] = None,
+    ) -> dict:
+        """Retune the batcher in place (the ``SIGHUP`` reload path).
+
+        In-flight batches finish under the settings they started with;
+        every batch formed after this call uses the new ones.  Returns
+        the applied knobs.
+        """
+        if window is not None and float(window) < 0:
+            raise ConfigurationError(
+                f"batch window must be >= 0 seconds, got {window}"
+            )
+        if max_rows is not None and int(max_rows) < 1:
+            raise ConfigurationError(
+                f"max_rows must be >= 1, got {max_rows}"
+            )
+        if policy is not None and policy not in WINDOW_POLICIES:
+            raise ConfigurationError(
+                f"batch policy must be one of {WINDOW_POLICIES}, "
+                f"got {policy!r}"
+            )
+        with self._lock:
+            if window is not None:
+                self.window = float(window)
+            if max_rows is not None:
+                self.max_rows = int(max_rows)
+            if policy is not None:
+                self.policy = policy
+            self._controller.reconfigure(self.window, self.max_rows)
+            return {
+                "policy": self.policy,
+                "window_ms": round(self.window * 1e3, 3),
+                "max_rows": self.max_rows,
             }
 
     # ------------------------------------------------------------------
     # Leader path
     # ------------------------------------------------------------------
+    def _effective_window(self) -> float:
+        """Seconds the next leader waits; caller holds the lock."""
+        if self.policy == "adaptive":
+            return self._controller.window()
+        return self.window
+
     def _lead(self, key, batch: _Batch, model) -> None:
         """Wait out the window, close the batch, execute, scatter."""
         while not batch.full.is_set():
@@ -214,32 +388,48 @@ class MicroBatcher:
             members = list(batch.members)
             self._batches_executed += 1
             self._largest_batch = max(self._largest_batch, len(members))
+            self._largest_batch_rows = max(
+                self._largest_batch_rows, int(batch.rows)
+            )
+            # Queue pressure behind this batch: in-flight requests that
+            # are not its own members (followers of other open batches
+            # or fresh arrivals) drive the adaptive window.
+            depth = max(0, self._inflight - len(members))
+            self._controller.on_flush(len(members), int(batch.rows), depth)
+            if self._on_flush is not None:
+                self._on_flush(len(members), int(batch.rows))
         try:
             self._execute(model, members)
         finally:
             batch.done.set()
 
     def _execute(self, model, members: List[_Request]) -> None:
-        """One merged call; per-request fallback on any failure."""
+        """One merged call; per-request fallback on ordinary failure.
+
+        Only :class:`Exception` triggers the N-way fallback loop — a
+        ``KeyboardInterrupt``/``SystemExit`` mid-call must propagate
+        (and reach the leader's caller) instead of being swallowed
+        into N more scoring calls that would stall a shutdown.
+        """
         if len(members) == 1:
             only = members[0]
             try:
                 only.result = self._score_fn(model, only.X)
-            except BaseException as exc:  # noqa: BLE001 - rethrown by caller
+            except Exception as exc:
                 only.error = exc
             return
         try:
             merged = self._score_fn(
                 model, np.concatenate([m.X for m in members], axis=0)
             )
-        except BaseException:  # noqa: BLE001 - isolate the poisoned request
+        except Exception:  # noqa: BLE001 - isolate the poisoned request
             # One request's rows made the merged call fail (NaN rows,
             # say).  Score each request alone so the error hits only
             # its owner, with the exact unbatched message.
             for member in members:
                 try:
                     member.result = self._score_fn(model, member.X)
-                except BaseException as exc:  # noqa: BLE001
+                except Exception as exc:
                     member.error = exc
             return
         offset = 0

@@ -27,8 +27,10 @@ Error contract: malformed JSON or a body of the wrong shape is ``400``;
 an unregistered model name is ``404``; structurally valid input the
 model rejects (wrong attribute count, NaN) is ``422``; a registered but
 unfitted model is ``409``; a body that stalls past the keep-alive
-timeout is ``408`` (and closes the connection).  Every error body is
-``{"error": "..."}``.
+timeout is ``408`` (and closes the connection); a scoring request shed
+by admission control (:mod:`repro.server.admission`) is ``429`` with a
+``Retry-After`` header (and closes the connection without reading the
+body).  Every error body is ``{"error": "..."}``.
 
 Request tracing: every response carries an ``X-Request-Id`` header —
 the client's own header echoed when it looks like a sane trace token,
@@ -68,6 +70,13 @@ from repro.core.exceptions import (
     NotFittedError,
 )
 from repro.core.scoring import build_ranking_list
+from repro.server.admission import (
+    DEFAULT_MAX_INFLIGHT,
+    DEFAULT_RETRY_AFTER,
+    AdmissionController,
+    RequestShed,
+    validate_tuning,
+)
 from repro.server.batching import MicroBatcher
 from repro.server.metrics import ServerMetrics, SharedMetricsStore
 from repro.server.registry import ModelRegistry, UnknownModelError
@@ -90,12 +99,32 @@ _REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._:-]{1,128}$")
 MAX_BODY_BYTES = 64 * 1024 * 1024
 
 
+def _validate_keepalive_timeout(keepalive_timeout) -> None:
+    """``keepalive_timeout=0`` is a footgun, not "no timeout".
+
+    The handler installs the value as the socket timeout for the
+    next-request read *and* as the whole-body deadline — with ``0`` the
+    socket goes non-blocking (every read raises immediately) and any
+    non-trivial upload 408s on arrival.  Reject non-positive values at
+    construction instead of booting a daemon that fails every POST.
+    """
+    if not float(keepalive_timeout) > 0:
+        raise ConfigurationError(
+            f"keepalive_timeout must be > 0 seconds, got "
+            f"{keepalive_timeout} (use a large value for an effectively "
+            f"unbounded idle timeout)"
+        )
+
+
 class _RequestError(Exception):
     """Internal: an error with a definite HTTP status."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(
+        self, status: int, message: str, headers: Optional[dict] = None
+    ):
         super().__init__(message)
         self.status = status
+        self.headers = headers
 
 
 class ScoringHTTPServer(ThreadingHTTPServer):
@@ -116,13 +145,22 @@ class ScoringHTTPServer(ThreadingHTTPServer):
     metrics:
         Optional shared :class:`ServerMetrics`; a fresh one otherwise.
     batch_window:
-        Seconds a small scoring request may wait to be coalesced with
-        concurrent ones into a single engine call (the micro-batcher,
-        :mod:`repro.server.batching`).  ``0`` (the default) scores
-        every request synchronously.
+        Cap in seconds on how long a small scoring request may wait to
+        be coalesced with concurrent ones into a single engine call
+        (the micro-batcher, :mod:`repro.server.batching`).  ``0`` (the
+        default) scores every request synchronously.
     max_batch_rows:
         Row bound per micro-batch; requests at or above it bypass
         coalescing.
+    batch_policy:
+        ``"adaptive"`` (default) lets the effective window float
+        between zero (idle) and ``batch_window`` (saturated) with
+        queue pressure; ``"fixed"`` always waits the full window.
+    max_inflight / max_inflight_per_model / retry_after:
+        Admission control (:mod:`repro.server.admission`): scoring
+        requests beyond ``max_inflight`` (or a model's quota) are shed
+        with ``429`` and a ``Retry-After: <retry_after>`` header
+        instead of queueing unboundedly.  ``0`` disables a bound.
     listen_socket:
         An already-listening socket to serve on *instead of* binding
         ``address`` — how :mod:`repro.server.pool` workers share one
@@ -134,7 +172,15 @@ class ScoringHTTPServer(ThreadingHTTPServer):
     keepalive_timeout:
         Seconds an idle keep-alive connection may sit between requests
         before its handler thread closes it; also bounds how long a
-        graceful drain can wait on idle connections.
+        graceful drain can wait on idle connections.  Must be > 0 —
+        the body-read path uses it as a socket timeout, where ``0``
+        means *non-blocking*, so a zero here would instantly 408 any
+        non-trivial upload.  For "effectively no timeout", pass a
+        large value.
+    listen_backlog:
+        Pending-connection bound handed to ``listen(2)`` — the accept
+        queue half of admission control (connections beyond it are
+        refused by the kernel instead of queueing unboundedly).
     """
 
     daemon_threads = True
@@ -148,28 +194,42 @@ class ScoringHTTPServer(ThreadingHTTPServer):
         metrics: Optional[ServerMetrics] = None,
         batch_window: float = 0.0,
         max_batch_rows: Optional[int] = None,
+        batch_policy: str = "adaptive",
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_inflight_per_model: int = 0,
+        retry_after: float = DEFAULT_RETRY_AFTER,
         listen_socket: Optional[socket.socket] = None,
         metrics_reader: Optional[SharedMetricsStore] = None,
         keepalive_timeout: float = 30.0,
+        listen_backlog: int = 128,
     ):
         # Fail fast on misconfiguration: a daemon that boots "healthy"
         # and then 400s every scoring request blames the client for an
         # operator mistake.  Validate before binding the socket.
         _validate_chunk_size(chunk_size)
         _validate_n_jobs(n_jobs)
+        _validate_keepalive_timeout(keepalive_timeout)
+        if int(listen_backlog) < 1:
+            raise ConfigurationError(
+                f"listen_backlog must be >= 1, got {listen_backlog}"
+            )
+        self.admission = AdmissionController(
+            max_inflight=max_inflight,
+            max_inflight_per_model=max_inflight_per_model,
+            retry_after=retry_after,
+        )
         self.batcher: Optional[MicroBatcher] = None
         if batch_window and batch_window > 0.0:
-            self.batcher = MicroBatcher(
-                lambda model, X: score_batch(
-                    model, X, chunk_size=chunk_size, n_jobs=n_jobs
-                ),
-                window=float(batch_window),
-                **(
-                    {"max_rows": int(max_batch_rows)}
-                    if max_batch_rows is not None
-                    else {}
-                ),
+            self.batcher = self._make_batcher(
+                float(batch_window), max_batch_rows, batch_policy
             )
+        elif batch_policy not in ("adaptive", "fixed"):
+            raise ConfigurationError(
+                f"batch policy must be 'adaptive' or 'fixed', "
+                f"got {batch_policy!r}"
+            )
+        self.batch_policy = batch_policy
+        self.request_queue_size = int(listen_backlog)
         if listen_socket is None:
             super().__init__(address, ScoringRequestHandler)
         else:
@@ -197,6 +257,78 @@ class ScoringHTTPServer(ThreadingHTTPServer):
         self._draining = threading.Event()
         self._handlers_lock = threading.Lock()
         self._handlers: set = set()
+
+    def _make_batcher(
+        self,
+        window: float,
+        max_batch_rows: Optional[int],
+        policy: str,
+    ) -> MicroBatcher:
+        return MicroBatcher(
+            lambda model, X: score_batch(
+                model, X, chunk_size=self.chunk_size, n_jobs=self.n_jobs
+            ),
+            window=window,
+            policy=policy,
+            on_flush=self._record_batch_flush,
+            **(
+                {"max_rows": int(max_batch_rows)}
+                if max_batch_rows is not None
+                else {}
+            ),
+        )
+
+    def _record_batch_flush(self, n_requests: int, n_rows: int) -> None:
+        self.metrics.observe_batch(n_requests, n_rows)
+
+    def apply_tuning(self, tuning: dict) -> dict:
+        """Retune batching/admission knobs in place (``SIGHUP`` path).
+
+        ``tuning`` is a validated mapping of :data:`TUNING_KEYS`
+        (see :func:`repro.server.admission.load_tuning_file`).  The
+        change is zero-downtime: in-flight requests finish under the
+        settings they started with, new ones see the new knobs, and no
+        socket or process is touched.  Returns the applied knobs.
+        """
+        tuning = validate_tuning(tuning)
+        applied: dict = {}
+        window = tuning.get("batch_window_ms")
+        max_rows = tuning.get("max_batch_rows")
+        policy = tuning.get("batch_policy")
+        if window is not None or max_rows is not None or policy is not None:
+            if policy is not None:
+                self.batch_policy = policy
+            if self.batcher is not None:
+                applied.update(
+                    self.batcher.reconfigure(
+                        window=None if window is None else window / 1e3,
+                        max_rows=max_rows,
+                        policy=policy,
+                    )
+                )
+            elif window is not None and window > 0:
+                # Batching was off at boot; enable it live.  Handler
+                # threads check ``self.batcher`` per request, so the
+                # swap needs no synchronisation beyond the attribute
+                # store.
+                self.batcher = self._make_batcher(
+                    window / 1e3, max_rows, self.batch_policy
+                )
+                applied.update(
+                    {
+                        key: value
+                        for key, value in self.batcher.stats().items()
+                        if key in ("policy", "window_ms", "max_rows")
+                    }
+                )
+        admission_keys = {
+            "max_inflight": tuning.get("max_inflight"),
+            "max_inflight_per_model": tuning.get("max_inflight_per_model"),
+            "retry_after": tuning.get("retry_after_s"),
+        }
+        if any(value is not None for value in admission_keys.values()):
+            applied.update(self.admission.reconfigure(**admission_keys))
+        return applied
 
     @property
     def is_draining(self) -> bool:
@@ -373,12 +505,35 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
             snapshot.update(merged)
         if self.server.batcher is not None:
             snapshot["micro_batcher"] = self.server.batcher.stats()
+        snapshot["admission"] = self.server.admission.stats()
         return 200, snapshot, 0
 
     def _get_models(self) -> Tuple[int, dict, int]:
         return 200, {"models": self.server.registry.describe()}, 0
 
     def _post_model(self, name: str, action: str) -> Tuple[int, dict, int]:
+        # Admission control runs before the body is even read: a shed
+        # must be cheap, so the 429 goes out immediately and the
+        # connection closes instead of draining an arbitrarily large
+        # upload just to refuse it.
+        admission = self.server.admission
+        try:
+            admission.acquire(name)
+        except RequestShed as exc:
+            self.close_connection = True
+            raise _RequestError(
+                429,
+                str(exc),
+                headers={"Retry-After": admission.retry_after_header()},
+            ) from None
+        try:
+            return self._post_model_admitted(name, action)
+        finally:
+            admission.release(name)
+
+    def _post_model_admitted(
+        self, name: str, action: str
+    ) -> Tuple[int, dict, int]:
         body = self._read_json_body()
         try:
             model = self.server.registry.get(name)
@@ -540,10 +695,12 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
         """Run ``handler``, send its JSON, record metrics either way."""
         started = time.perf_counter()
         rows = 0
+        headers: Optional[dict] = None
         try:
             status, payload, rows = handler()
         except _RequestError as exc:
             status, payload = exc.status, {"error": str(exc)}
+            headers = exc.headers
         except (ConfigurationError, DataValidationError) as exc:
             status, payload = 400, {"error": str(exc)}
         except Exception as exc:  # noqa: BLE001 - daemon must not die
@@ -557,7 +714,7 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
             rows=rows,
             request_id=getattr(self, "_request_id", None),
         )
-        self._send_json(status, payload)
+        self._send_json(status, payload, headers=headers)
 
     def _drain_body(self) -> None:
         """Consume an unrouted request's body so keep-alive stays sane."""

@@ -29,6 +29,10 @@ Supervision and shutdown contract
   own requests, so after overwriting a model file the fleet converges
   worker by worker (same eventual-consistency window as one process —
   see ``docs/ops.md``).
+* ``SIGHUP`` to the parent is fanned out to every worker, which
+  re-reads the ``--tuning-file`` and retunes its batching/admission
+  knobs in place (:func:`install_tuning_reload`) — zero downtime, no
+  in-flight request dropped.
 
 Metrics are aggregated across workers through a shared memory-mapped
 counter file (:class:`~repro.server.metrics.SharedMetricsStore`), so
@@ -47,7 +51,13 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.exceptions import ConfigurationError
-from repro.server.http import ScoringHTTPServer
+from repro.server.admission import (
+    DEFAULT_MAX_INFLIGHT,
+    DEFAULT_RETRY_AFTER,
+    _validate_admission_knobs,
+    load_tuning_file,
+)
+from repro.server.http import ScoringHTTPServer, _validate_keepalive_timeout
 from repro.server.metrics import ServerMetrics, SharedMetricsStore
 from repro.server.registry import ModelRegistry
 from repro.serving.batch import _validate_chunk_size, _validate_n_jobs
@@ -81,8 +91,14 @@ class WorkerPool:
         n_jobs: Optional[int] = None,
         batch_window: float = 0.0,
         max_batch_rows: Optional[int] = None,
+        batch_policy: str = "adaptive",
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_inflight_per_model: int = 0,
+        retry_after: float = DEFAULT_RETRY_AFTER,
+        tuning_file: Optional[str] = None,
         check_mtime: bool = True,
         keepalive_timeout: float = 30.0,
+        listen_backlog: int = 128,
         drain_grace: float = DEFAULT_DRAIN_GRACE,
     ):
         if int(workers) < 1:
@@ -98,6 +114,10 @@ class WorkerPool:
         # minutes later as a crash-looping worker fleet.
         _validate_chunk_size(chunk_size)
         _validate_n_jobs(n_jobs)
+        _validate_keepalive_timeout(keepalive_timeout)
+        _validate_admission_knobs(
+            max_inflight, max_inflight_per_model, retry_after
+        )
         if float(batch_window) < 0:
             raise ConfigurationError(
                 f"batch window must be >= 0 seconds, got {batch_window}"
@@ -105,6 +125,15 @@ class WorkerPool:
         if max_batch_rows is not None and int(max_batch_rows) < 1:
             raise ConfigurationError(
                 f"max_rows must be >= 1, got {max_batch_rows}"
+            )
+        if batch_policy not in ("adaptive", "fixed"):
+            raise ConfigurationError(
+                f"batch policy must be 'adaptive' or 'fixed', "
+                f"got {batch_policy!r}"
+            )
+        if int(listen_backlog) < 1:
+            raise ConfigurationError(
+                f"listen_backlog must be >= 1, got {listen_backlog}"
             )
         self.model_specs = list(model_specs)
         self.host = host
@@ -114,8 +143,14 @@ class WorkerPool:
         self.n_jobs = n_jobs
         self.batch_window = float(batch_window)
         self.max_batch_rows = max_batch_rows
+        self.batch_policy = batch_policy
+        self.max_inflight = int(max_inflight)
+        self.max_inflight_per_model = int(max_inflight_per_model)
+        self.retry_after = float(retry_after)
+        self.tuning_file = tuning_file
         self.check_mtime = bool(check_mtime)
         self.keepalive_timeout = float(keepalive_timeout)
+        self.listen_backlog = int(listen_backlog)
         self.drain_grace = float(drain_grace)
         self._socket: Optional[socket.socket] = None
         self._metrics_dir: Optional[str] = None
@@ -139,7 +174,7 @@ class WorkerPool:
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         sock.bind((self.host, self.port))
-        sock.listen(128)
+        sock.listen(self.listen_backlog)
         # Non-blocking accepts: when one connection wakes the select
         # loop of *every* worker sharing the fd, the losers' accept()
         # must raise BlockingIOError (swallowed by socketserver's
@@ -169,6 +204,10 @@ class WorkerPool:
             # child sheds them again first thing (see _spawn).
             signal.signal(signal.SIGTERM, self._request_stop)
             signal.signal(signal.SIGINT, self._request_stop)
+            if hasattr(signal, "SIGHUP"):
+                # Zero-downtime retune: fan the reload signal out so
+                # every worker re-reads the tuning file in place.
+                signal.signal(signal.SIGHUP, self._forward_reload)
             for slot in range(self.workers):
                 self._spawn(slot)
             rapid_deaths = 0
@@ -232,6 +271,12 @@ class WorkerPool:
             _booting_exit = lambda signum, frame: os._exit(0)  # noqa: E731
             signal.signal(signal.SIGTERM, _booting_exit)
             signal.signal(signal.SIGINT, _booting_exit)
+            if hasattr(signal, "SIGHUP"):
+                # A retune arriving while this worker is still booting
+                # has nothing to retune yet; ignore it until the real
+                # reload handler is installed (the operator's next
+                # SIGHUP lands on the whole fleet anyway).
+                signal.signal(signal.SIGHUP, signal.SIG_IGN)
             self._worker_main(slot)  # never returns
             os._exit(70)  # pragma: no cover - unreachable
         self._pids[pid] = slot
@@ -245,6 +290,14 @@ class WorkerPool:
             try:
                 os.kill(pid, signal.SIGTERM)
             except ProcessLookupError:  # pragma: no cover - exited already
+                pass
+
+    def _forward_reload(self, signum, frame) -> None:
+        """Parent ``SIGHUP`` handler: fan the retune out to workers."""
+        for pid in list(self._pids):
+            try:
+                os.kill(pid, signal.SIGHUP)
+            except ProcessLookupError:
                 pass
 
     def _request_stop(self, signum, frame) -> None:
@@ -290,6 +343,10 @@ class WorkerPool:
                 metrics=ServerMetrics(mirror=store.writer(slot)),
                 batch_window=self.batch_window,
                 max_batch_rows=self.max_batch_rows,
+                batch_policy=self.batch_policy,
+                max_inflight=self.max_inflight,
+                max_inflight_per_model=self.max_inflight_per_model,
+                retry_after=self.retry_after,
                 listen_socket=self._socket,
                 metrics_reader=store,
                 keepalive_timeout=self.keepalive_timeout,
@@ -302,6 +359,7 @@ class WorkerPool:
             server.daemon_threads = False
             server.block_on_close = True
             install_graceful_shutdown(server)
+            install_tuning_reload(server, self.tuning_file)
             server.serve_forever(poll_interval=0.05)
             server.server_close()
             status = 0
@@ -337,6 +395,41 @@ def install_graceful_shutdown(server: ScoringHTTPServer) -> List[int]:
         except ValueError:  # pragma: no cover - non-main thread
             break
     return installed
+
+
+def install_tuning_reload(
+    server: ScoringHTTPServer, tuning_file: Optional[str]
+) -> bool:
+    """Re-apply the ``--tuning-file`` knobs on ``SIGHUP``.
+
+    Shared by pool workers and the single-process CLI path.  The
+    handler re-reads and validates the file, then retunes the live
+    server in place (``apply_tuning``) — no socket rebind, no process
+    restart, no in-flight request dropped.  A missing or invalid file
+    logs and changes nothing: a typo in a retune must never take a
+    healthy daemon down.  Returns whether a handler was installed.
+    """
+    if not hasattr(signal, "SIGHUP"):  # pragma: no cover - non-POSIX
+        return False
+
+    def _reload(signum, frame):
+        if tuning_file is None:
+            print(
+                "SIGHUP ignored: no --tuning-file to reload", flush=True
+            )
+            return
+        try:
+            applied = server.apply_tuning(load_tuning_file(tuning_file))
+        except Exception as exc:  # noqa: BLE001 - keep serving
+            print(f"tuning reload failed: {exc}", flush=True)
+            return
+        print(f"tuning reloaded from {tuning_file}: {applied}", flush=True)
+
+    try:
+        signal.signal(signal.SIGHUP, _reload)
+    except ValueError:  # pragma: no cover - non-main thread
+        return False
+    return True
 
 
 def _exit_code(raw_status: int) -> int:

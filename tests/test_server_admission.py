@@ -1,0 +1,343 @@
+"""Admission control, tuning reload and shed-accounting units.
+
+The daemon's overload story has three pieces — bounded admission with
+429 + ``Retry-After`` shedding (:mod:`repro.server.admission`), exact
+fleet-wide shed accounting through the shared metrics store, and
+zero-downtime ``SIGHUP`` retuning from a JSON tuning file.  This file
+unit-tests each piece without a live daemon in the way; the end-to-end
+overload behaviour (every request exactly 200 or 429 under offered
+load beyond capacity) lives in ``tests/test_server_load.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.server import (
+    AdmissionController,
+    ModelRegistry,
+    RequestShed,
+    ScoringHTTPServer,
+    ServerMetrics,
+    SharedMetricsStore,
+    WorkerPool,
+    load_tuning_file,
+    validate_tuning,
+)
+
+SCORE_ENDPOINT = "POST /v1/models/{name}/score"
+
+
+class TestAdmissionController:
+    def test_admits_until_global_bound_then_sheds(self):
+        ctl = AdmissionController(max_inflight=2, retry_after=3.0)
+        ctl.acquire("a")
+        ctl.acquire("b")
+        with pytest.raises(RequestShed) as shed:
+            ctl.acquire("c")
+        assert "capacity" in str(shed.value)
+        assert shed.value.retry_after == 3.0
+        # Releasing a slot re-opens admission.
+        ctl.release("a")
+        ctl.acquire("c")
+        stats = ctl.stats()
+        assert stats["inflight"] == 2
+        assert stats["peak_inflight"] == 2
+        assert stats["admitted_total"] == 3
+        assert stats["shed_total"] == 1
+
+    def test_per_model_quota_isolates_hot_model(self):
+        ctl = AdmissionController(
+            max_inflight=10, max_inflight_per_model=1
+        )
+        ctl.acquire("hot")
+        with pytest.raises(RequestShed, match="quota"):
+            ctl.acquire("hot")
+        # Another model is unaffected by the hot one's quota.
+        ctl.acquire("cold")
+        ctl.release("hot")
+        ctl.acquire("hot")
+
+    def test_zero_bounds_mean_unbounded(self):
+        ctl = AdmissionController(max_inflight=0, max_inflight_per_model=0)
+        for _ in range(200):
+            ctl.acquire("m")
+        assert ctl.stats()["inflight"] == 200
+        assert ctl.stats()["shed_total"] == 0
+
+    def test_release_cleans_per_model_table(self):
+        ctl = AdmissionController(max_inflight=0)
+        ctl.acquire("transient")
+        ctl.release("transient")
+        # A stream of one-shot model names must not grow state forever.
+        assert ctl._per_model == {}
+        # Spurious release (e.g. after a handler error) stays sane.
+        ctl.release("never-acquired")
+        assert ctl.stats()["inflight"] == 0
+
+    def test_retry_after_header_is_integer_seconds(self):
+        assert AdmissionController(retry_after=1.0).retry_after_header() == "1"
+        assert AdmissionController(retry_after=0.2).retry_after_header() == "1"
+        assert AdmissionController(retry_after=2.5).retry_after_header() == "3"
+        assert AdmissionController(retry_after=7).retry_after_header() == "7"
+
+    def test_reconfigure_in_place_and_validation(self):
+        ctl = AdmissionController(max_inflight=4)
+        applied = ctl.reconfigure(max_inflight=1, retry_after=9.0)
+        assert applied == {
+            "max_inflight": 1,
+            "max_inflight_per_model": 0,
+            "retry_after_s": 9.0,
+        }
+        ctl.acquire("m")
+        with pytest.raises(RequestShed):
+            ctl.acquire("m")
+        with pytest.raises(ConfigurationError, match="max_inflight"):
+            ctl.reconfigure(max_inflight=-1)
+        with pytest.raises(ConfigurationError, match="retry_after"):
+            ctl.reconfigure(retry_after=0)
+        # Failed reconfigure must not have applied anything.
+        assert ctl.stats()["max_inflight"] == 1
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError, match="max_inflight"):
+            AdmissionController(max_inflight=-1)
+        with pytest.raises(ConfigurationError, match="per_model"):
+            AdmissionController(max_inflight_per_model=-2)
+        with pytest.raises(ConfigurationError, match="retry_after"):
+            AdmissionController(retry_after=0.0)
+
+    def test_thread_safety_of_the_admission_gate(self):
+        # 32 threads race 400 acquire/release pairs through a bound of
+        # 8: the inflight gauge must never exceed the bound and must
+        # return to zero, and admitted+shed must equal the offered total.
+        ctl = AdmissionController(max_inflight=8)
+        overshoot = []
+        barrier = threading.Barrier(32)
+
+        def worker():
+            barrier.wait()
+            for _ in range(400):
+                try:
+                    ctl.acquire("m")
+                except RequestShed:
+                    continue
+                if ctl.stats()["inflight"] > 8:
+                    overshoot.append(ctl.stats()["inflight"])
+                ctl.release("m")
+
+        threads = [threading.Thread(target=worker) for _ in range(32)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not overshoot
+        stats = ctl.stats()
+        assert stats["inflight"] == 0
+        assert stats["admitted_total"] + stats["shed_total"] == 32 * 400
+
+
+class TestTuningValidation:
+    def test_accepts_every_documented_knob(self):
+        tuning = {
+            "batch_window_ms": 4.0,
+            "max_batch_rows": 256,
+            "batch_policy": "fixed",
+            "max_inflight": 16,
+            "max_inflight_per_model": 4,
+            "retry_after_s": 2.0,
+        }
+        assert validate_tuning(tuning) == tuning
+        assert validate_tuning({}) == {}
+
+    def test_rejects_unknown_keys_and_bad_values(self):
+        with pytest.raises(ConfigurationError, match="unknown tuning"):
+            validate_tuning({"workers": 4})
+        with pytest.raises(ConfigurationError, match="batch_window_ms"):
+            validate_tuning({"batch_window_ms": -1})
+        with pytest.raises(ConfigurationError, match="max_batch_rows"):
+            validate_tuning({"max_batch_rows": 0})
+        with pytest.raises(ConfigurationError, match="batch_policy"):
+            validate_tuning({"batch_policy": "psychic"})
+        with pytest.raises(ConfigurationError, match="retry_after"):
+            validate_tuning({"retry_after_s": 0})
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            validate_tuning([1, 2, 3])
+
+    def test_load_tuning_file(self, tmp_path):
+        path = tmp_path / "tuning.json"
+        path.write_text(json.dumps({"max_inflight": 3}))
+        assert load_tuning_file(path) == {"max_inflight": 3}
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_tuning_file(tmp_path / "missing.json")
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_tuning_file(path)
+
+
+@pytest.fixture()
+def quiet_server():
+    server = ScoringHTTPServer(
+        ("127.0.0.1", 0),
+        ModelRegistry(),
+        batch_window=0.0,
+        max_inflight=8,
+    )
+    yield server
+    server.server_close()
+
+
+class TestApplyTuning:
+    def test_retunes_admission_in_place(self, quiet_server):
+        applied = quiet_server.apply_tuning(
+            {"max_inflight": 2, "retry_after_s": 5.0}
+        )
+        assert applied["max_inflight"] == 2
+        assert applied["retry_after_s"] == 5.0
+        assert quiet_server.admission.max_inflight == 2
+        assert quiet_server.admission.retry_after_header() == "5"
+
+    def test_enables_batching_live(self, quiet_server):
+        assert quiet_server.batcher is None
+        applied = quiet_server.apply_tuning(
+            {"batch_window_ms": 4.0, "max_batch_rows": 64}
+        )
+        assert quiet_server.batcher is not None
+        assert applied["window_ms"] == 4.0
+        assert applied["max_rows"] == 64
+        assert quiet_server.batcher.stats()["policy"] == "adaptive"
+        # Retune the now-live batcher, switching policy too.
+        applied = quiet_server.apply_tuning(
+            {"batch_window_ms": 8.0, "batch_policy": "fixed"}
+        )
+        assert applied["window_ms"] == 8.0
+        assert quiet_server.batcher.stats()["policy"] == "fixed"
+
+    def test_invalid_tuning_changes_nothing(self, quiet_server):
+        before = quiet_server.admission.stats()
+        with pytest.raises(ConfigurationError):
+            quiet_server.apply_tuning({"max_inflight": -3})
+        with pytest.raises(ConfigurationError):
+            quiet_server.apply_tuning({"nonsense": 1})
+        assert quiet_server.admission.stats() == before
+
+
+class TestKeepaliveValidation:
+    """Regression: ``keepalive_timeout=0`` used to be accepted.
+
+    ``settimeout(0)`` puts the socket in non-blocking mode, so a zero
+    timeout made every kept-alive connection die instantly with a
+    spurious 408 — the opposite of the "no timeout" an operator meant.
+    Both front doors must reject it at construction.
+    """
+
+    def test_server_rejects_zero_and_negative(self):
+        for bad in (0, 0.0, -1.5):
+            with pytest.raises(ConfigurationError, match="keepalive"):
+                ScoringHTTPServer(
+                    ("127.0.0.1", 0),
+                    ModelRegistry(),
+                    keepalive_timeout=bad,
+                )
+
+    def test_pool_rejects_zero_and_negative(self):
+        for bad in (0, -2):
+            with pytest.raises(ConfigurationError, match="keepalive"):
+                WorkerPool([], workers=2, keepalive_timeout=bad)
+
+    def test_large_timeout_still_accepted(self):
+        server = ScoringHTTPServer(
+            ("127.0.0.1", 0), ModelRegistry(), keepalive_timeout=86400.0
+        )
+        try:
+            assert server.keepalive_timeout == 86400.0
+        finally:
+            server.server_close()
+
+
+class TestSharedShedAndBatchTelemetry:
+    def test_shed_total_is_exact_across_slots(self, tmp_path):
+        store = SharedMetricsStore(
+            tmp_path / "metrics.mmap", n_slots=2, create=True
+        )
+        workers = [
+            ServerMetrics(mirror=store.writer(slot)) for slot in range(2)
+        ]
+        for slot, metrics in enumerate(workers):
+            for _ in range(5):
+                metrics.observe(SCORE_ENDPOINT, 200, 0.001, rows=1)
+            for _ in range(3 * (slot + 1)):
+                metrics.observe(SCORE_ENDPOINT, 429, 0.0001)
+        for metrics in workers:
+            snap = metrics.snapshot()
+            assert "requests_shed_total" in snap
+        merged = store.merged()
+        assert merged["requests_shed_total"] == 9
+        assert merged["requests_total"] == 10 + 9
+        by_status = merged["endpoints"][SCORE_ENDPOINT]["by_status"]
+        assert by_status["429"] == 9
+
+    def test_batch_fill_pools_as_fleet_max(self, tmp_path):
+        store = SharedMetricsStore(
+            tmp_path / "metrics.mmap", n_slots=2, create=True
+        )
+        workers = [
+            ServerMetrics(mirror=store.writer(slot)) for slot in range(2)
+        ]
+        workers[0].observe_batch(3, 24)
+        workers[1].observe_batch(5, 10)
+        workers[1].observe_batch(2, 40)
+        merged = store.merged()
+        fleet = merged["micro_batcher_fleet"]
+        assert fleet["largest_batch_requests"] == 5
+        assert fleet["largest_batch_rows"] == 40
+
+    def test_no_batches_means_no_fleet_key(self, tmp_path):
+        store = SharedMetricsStore(
+            tmp_path / "metrics.mmap", n_slots=1, create=True
+        )
+        ServerMetrics(mirror=store.writer(0)).observe(
+            SCORE_ENDPOINT, 200, 0.001, rows=1
+        )
+        assert "micro_batcher_fleet" not in store.merged()
+
+
+class TestServeCLIFlags:
+    def test_parser_accepts_overload_knobs(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--model", "m=/tmp/m.json",
+                "--batch-policy", "fixed",
+                "--max-inflight", "16",
+                "--max-inflight-per-model", "4",
+                "--retry-after", "2.5",
+                "--keepalive-timeout", "45",
+                "--tuning-file", "/tmp/tuning.json",
+            ]
+        )
+        assert args.batch_policy == "fixed"
+        assert args.max_inflight == 16
+        assert args.max_inflight_per_model == 4
+        assert args.retry_after == 2.5
+        assert args.keepalive_timeout == 45.0
+        assert args.tuning_file == "/tmp/tuning.json"
+
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--model", "m=/tmp/m.json"]
+        )
+        assert args.batch_policy == "adaptive"
+        assert args.max_inflight is None  # -> server default
+        assert args.max_inflight_per_model == 0
+        assert args.retry_after is None  # -> server default
+        assert args.keepalive_timeout == 30.0
+        assert args.tuning_file is None

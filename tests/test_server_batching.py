@@ -49,7 +49,12 @@ def fitted():
 
 class TestMicroBatcherUnit:
     def test_concurrent_calls_coalesce_and_match(self, fitted):
-        batcher = MicroBatcher(score_batch, window=0.5, max_rows=4096)
+        # policy="fixed": the coalescing guarantee under test needs
+        # every leader to wait the full window, not the adaptive
+        # controller's cold-start zero.
+        batcher = MicroBatcher(
+            score_batch, window=0.5, max_rows=4096, policy="fixed"
+        )
         rng = np.random.default_rng(0)
         inputs = [rng.uniform(size=(int(rng.integers(1, 5)), 3))
                   for _ in range(8)]
@@ -95,7 +100,9 @@ class TestMicroBatcherUnit:
     def test_full_batch_flushes_before_window(self, fitted):
         # max_rows=2: the second single-row caller fills the batch, so
         # the leader must flush long before its 30 s window elapses.
-        batcher = MicroBatcher(score_batch, window=30.0, max_rows=2)
+        batcher = MicroBatcher(
+            score_batch, window=30.0, max_rows=2, policy="fixed"
+        )
         X = np.full((1, 3), 0.4)
         results = [None, None]
 
@@ -115,7 +122,7 @@ class TestMicroBatcherUnit:
             assert got.tobytes() == want.tobytes()
 
     def test_poisoned_request_fails_alone(self, fitted):
-        batcher = MicroBatcher(score_batch, window=0.4)
+        batcher = MicroBatcher(score_batch, window=0.4, policy="fixed")
         good = np.full((2, 3), 0.3)
         bad = np.array([[np.nan, 0.1, 0.2]])
         outcome = {}
@@ -151,6 +158,175 @@ class TestMicroBatcherUnit:
             MicroBatcher(score_batch, window=-0.1)
         with pytest.raises(ConfigurationError, match="max_rows"):
             MicroBatcher(score_batch, window=0.1, max_rows=0)
+        with pytest.raises(ConfigurationError, match="policy"):
+            MicroBatcher(score_batch, window=0.1, policy="psychic")
+
+    def test_largest_batch_rows_tracked(self, fitted):
+        # Regression: stats() reported the largest batch in *requests*
+        # but not in *rows*, leaving --max-batch-rows untunable from
+        # telemetry.  Coalesce 2-row + 3-row requests and expect 5.
+        batcher = MicroBatcher(
+            score_batch, window=30.0, max_rows=5, policy="fixed"
+        )
+        rng = np.random.default_rng(3)
+        inputs = [rng.uniform(size=(2, 3)), rng.uniform(size=(3, 3))]
+        results = [None, None]
+        barrier = threading.Barrier(2)
+
+        def call(i):
+            barrier.wait()
+            results[i] = batcher.score(fitted, inputs[i])
+
+        threads = [
+            threading.Thread(target=call, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        stats = batcher.stats()
+        assert "largest_batch_rows" in stats
+        assert stats["largest_batch_rows"] == 5
+        assert stats["largest_batch_requests"] == 2
+        for got, X in zip(results, inputs):
+            assert got.tobytes() == score_batch(fitted, X).tobytes()
+
+    def test_keyboard_interrupt_propagates_not_rescored(self):
+        # Regression: _execute caught BaseException, so a
+        # KeyboardInterrupt mid-merge was swallowed into an N-way
+        # per-request rescore — N more scoring calls between an
+        # operator's Ctrl-C and the daemon actually stopping.  The
+        # interrupt must reach the leader's caller after ONE call, and
+        # followers must be woken with BatchAbortedError, not hang.
+        calls = []
+
+        def interrupted_score(model, X):
+            calls.append(X.shape[0])
+            raise KeyboardInterrupt()
+
+        batcher = MicroBatcher(
+            interrupted_score, window=30.0, max_rows=2, policy="fixed"
+        )
+        model = object()
+        outcome = [None, None]
+        barrier = threading.Barrier(2)
+
+        def call(i):
+            barrier.wait()
+            try:
+                outcome[i] = batcher.score(model, np.full((1, 3), 0.1))
+            except BaseException as exc:  # noqa: BLE001 - asserted below
+                outcome[i] = exc
+
+        threads = [
+            threading.Thread(target=call, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not any(t.is_alive() for t in threads), "follower hung"
+        assert len(calls) == 1, f"fallback rescored after interrupt: {calls}"
+        kinds = sorted(type(o).__name__ for o in outcome)
+        assert kinds == ["BatchAbortedError", "KeyboardInterrupt"], kinds
+
+    def test_keyboard_interrupt_propagates_solo_path(self):
+        # Same bug, single-member batch: the solo execute path also
+        # caught BaseException and turned Ctrl-C into a response.
+        def interrupted_score(model, X):
+            raise KeyboardInterrupt()
+
+        batcher = MicroBatcher(
+            interrupted_score, window=0.001, policy="fixed"
+        )
+        with pytest.raises(KeyboardInterrupt):
+            batcher.score(object(), np.full((1, 3), 0.1))
+
+    def test_reconfigure_in_place(self, fitted):
+        batcher = MicroBatcher(
+            score_batch, window=0.01, max_rows=64, policy="fixed"
+        )
+        applied = batcher.reconfigure(
+            window=0.05, max_rows=32, policy="adaptive"
+        )
+        assert applied == {
+            "policy": "adaptive",
+            "window_ms": 50.0,
+            "max_rows": 32,
+        }
+        stats = batcher.stats()
+        assert stats["policy"] == "adaptive"
+        assert stats["window_ms"] == 50.0
+        assert stats["max_rows"] == 32
+        with pytest.raises(ConfigurationError, match="window"):
+            batcher.reconfigure(window=-1.0)
+        with pytest.raises(ConfigurationError, match="policy"):
+            batcher.reconfigure(policy="nope")
+        # Scoring still works after a live retune.
+        X = np.full((2, 3), 0.2)
+        got = batcher.score(fitted, X)
+        assert got.tobytes() == score_batch(fitted, X).tobytes()
+
+
+class TestAdaptiveWindowController:
+    """Deterministic unit coverage of the window feedback loop."""
+
+    def test_starts_at_zero_and_stays_there_when_idle(self):
+        from repro.server.batching import AdaptiveWindowController
+
+        ctl = AdaptiveWindowController(cap=0.05, max_rows=1024)
+        assert ctl.window() == 0.0
+        for _ in range(20):  # lonely single-request flushes
+            ctl.on_flush(1, 3, 0)
+        assert ctl.window() == 0.0
+
+    def test_grows_to_cap_under_pressure_then_collapses(self):
+        from repro.server.batching import AdaptiveWindowController
+
+        ctl = AdaptiveWindowController(cap=0.064, max_rows=1024)
+        # Multi-member flushes: seed at cap/64 and double to the cap.
+        ctl.on_flush(4, 12, 0)
+        assert ctl.window() == pytest.approx(0.001)
+        for _ in range(10):
+            ctl.on_flush(4, 12, 0)
+        assert ctl.window() == pytest.approx(0.064)
+        # Queue depth alone (single-member flush, requests waiting
+        # behind it) also counts as pressure.
+        ctl2 = AdaptiveWindowController(cap=0.064, max_rows=1024)
+        ctl2.on_flush(1, 3, depth=2)
+        assert ctl2.window() > 0.0
+        # Full-by-rows flushes count as pressure too.
+        ctl3 = AdaptiveWindowController(cap=0.064, max_rows=8)
+        ctl3.on_flush(1, 8, 0)
+        assert ctl3.window() > 0.0
+        # The spike passes: lonely flushes halve it back and it snaps
+        # to exactly zero (not epsilon) below cap/1024.
+        for _ in range(30):
+            ctl.on_flush(1, 3, 0)
+        assert ctl.window() == 0.0
+
+    def test_reconfigure_clamps_to_new_cap(self):
+        from repro.server.batching import AdaptiveWindowController
+
+        ctl = AdaptiveWindowController(cap=0.1, max_rows=1024)
+        for _ in range(20):
+            ctl.on_flush(4, 12, 0)
+        assert ctl.window() == pytest.approx(0.1)
+        ctl.reconfigure(cap=0.02, max_rows=512)
+        assert ctl.window() == pytest.approx(0.02)
+
+    def test_adaptive_batcher_reports_controller_state(self, fitted):
+        batcher = MicroBatcher(score_batch, window=0.05)  # adaptive
+        stats = batcher.stats()
+        assert stats["policy"] == "adaptive"
+        assert stats["window_ms"] == 50.0
+        assert stats["current_window_ms"] == 0.0  # idle -> no wait
+        assert stats["queue_depth"] == 0
+        # An idle adaptive batcher scores with zero added latency and
+        # still returns byte-identical results.
+        X = np.full((2, 3), 0.3)
+        got = batcher.score(fitted, X)
+        assert got.tobytes() == score_batch(fitted, X).tobytes()
 
 
 # ----------------------------------------------------------------------
@@ -202,11 +378,20 @@ class TestBatchedResponsesByteIdentical:
     """
 
     @pytest.fixture(
-        scope="class", params=[(0.02, None), (0.05, 8)],
-        ids=["window20ms", "window50ms-maxrows8"],
+        scope="class",
+        params=[
+            (0.02, None, "adaptive"),
+            (0.02, None, "fixed"),
+            (0.05, 8, "adaptive"),
+        ],
+        ids=[
+            "window20ms-adaptive",
+            "window20ms-fixed",
+            "window50ms-maxrows8-adaptive",
+        ],
     )
     def server_pair(self, request, tmp_path_factory):
-        window, max_rows = request.param
+        window, max_rows, policy = request.param
         root = tmp_path_factory.mktemp("batching")
         names = []
         registries = []
@@ -227,6 +412,7 @@ class TestBatchedResponsesByteIdentical:
                 registry,
                 batch_window=batch_window,
                 max_batch_rows=max_rows,
+                batch_policy=policy,
             )
             threading.Thread(
                 target=server.serve_forever, daemon=True
