@@ -321,6 +321,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable hot-reloading models when their file changes",
     )
+    serve.add_argument(
+        "--trace",
+        choices=("off", "sampled", "on"),
+        default="off",
+        dest="trace",
+        help="per-request stage tracing: 'on' traces every request, "
+        "'sampled' every --trace-sample'th, 'off' (default) none; "
+        "traces are served by GET /v1/debug/trace/<request-id> "
+        "(see docs/observability.md)",
+    )
+    serve.add_argument(
+        "--trace-sample",
+        type=int,
+        default=64,
+        dest="trace_sample",
+        metavar="N",
+        help="with --trace sampled, record every N-th request "
+        "(default 64)",
+    )
+    serve.add_argument(
+        "--trace-buffer",
+        type=int,
+        default=256,
+        dest="trace_buffer",
+        metavar="N",
+        help="recent traces retained per worker for the debug "
+        "endpoint (default 256)",
+    )
+    serve.add_argument(
+        "--access-log",
+        default=None,
+        dest="access_log",
+        metavar="PATH",
+        help="append one JSON line per request (request id, stage "
+        "timings, batch id) to PATH; '-' logs to stderr",
+    )
     return parser
 
 
@@ -620,6 +656,10 @@ def _run_serve(args: argparse.Namespace) -> int:
             keepalive_timeout=args.keepalive_timeout,
             tuning_file=args.tuning_file,
             check_mtime=not args.no_reload,
+            trace_mode=args.trace,
+            trace_sample=args.trace_sample,
+            trace_buffer=args.trace_buffer,
+            access_log=args.access_log,
         )
         host, port = pool.bind()
         print(
@@ -633,6 +673,29 @@ def _run_serve(args: argparse.Namespace) -> int:
         print("pool shut down")
         return code
 
+    tracer = None
+    if args.trace != "off" or args.access_log is not None:
+        from repro.obs import AccessLog, Tracer
+
+        if args.trace_sample < 1:
+            raise ConfigurationError(
+                f"--trace-sample must be >= 1, got {args.trace_sample}"
+            )
+        if args.trace_buffer < 1:
+            raise ConfigurationError(
+                f"--trace-buffer must be >= 1, got {args.trace_buffer}"
+            )
+        tracer = Tracer(
+            mode=args.trace,
+            sample_every=args.trace_sample,
+            capacity=args.trace_buffer,
+            access_log=(
+                AccessLog(args.access_log)
+                if args.access_log is not None
+                else None
+            ),
+        )
+
     server = ScoringHTTPServer(
         (args.host, args.port),
         registry,
@@ -645,6 +708,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_inflight_per_model=args.max_inflight_per_model,
         retry_after=retry_after,
         keepalive_timeout=args.keepalive_timeout,
+        tracer=tracer,
     )
     host, port = server.server_address[:2]
     print(f"serving {len(registry)} model(s) on http://{host}:{port}")

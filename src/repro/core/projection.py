@@ -69,6 +69,7 @@ import numpy as np
 from repro.core.exceptions import ConfigurationError
 from repro.geometry.bezier import BezierCurve
 from repro.geometry.engine import CompiledProjection, ProjectionEngine
+from repro.obs.engineprof import current as _active_profile
 from repro.linalg.polyroots import (
     polynomial_derivative,
     polyval_ascending,
@@ -226,6 +227,13 @@ def _project_warm(
     sparse = np.linspace(0.0, 1.0, _SAFEGUARD_GRID)
     d_sparse = compiled.distance_on_grid(sparse)
     escaped = np.min(d_sparse, axis=1) < d_warm - 1e-14
+    prof = _active_profile()
+    if prof is not None:
+        # Warm-start effectiveness: rows whose narrow bracket held vs
+        # rows the safeguard sent back to a cold projection.
+        n_missed = int(np.count_nonzero(escaped))
+        prof.count("warm_start_hits", int(escaped.size) - n_missed)
+        prof.count("warm_start_misses", n_missed)
     if np.any(escaped):
         s_cold = project_points(
             curve, X[escaped], method=method, n_grid=n_grid, tol=tol,

@@ -34,6 +34,7 @@ share across the threaded serving paths (``score_batch(n_jobs=...)``).
 
 from __future__ import annotations
 
+import time
 from typing import Tuple
 
 import numpy as np
@@ -42,6 +43,7 @@ from repro.core.exceptions import ConfigurationError
 from repro.linalg.golden_section import golden_section_search_batch
 from repro.linalg.horner import horner_batch, horner_pointwise
 from repro.linalg.polyroots import batched_minimize_on_interval
+from repro.obs.engineprof import current as _active_profile
 
 
 def _row_invariant_product(X: np.ndarray, B: np.ndarray) -> np.ndarray:
@@ -231,11 +233,20 @@ class CompiledProjection:
         """
         if n_grid < 3:
             raise ConfigurationError(f"n_grid must be >= 3, got {n_grid}")
+        # Profiling hooks (here and in the other solvers): one
+        # ContextVar read and an ``is None`` branch per *call* when no
+        # profile is active — see :mod:`repro.obs.engineprof`.
+        prof = _active_profile()
+        t0 = time.perf_counter() if prof is not None else 0.0
         grid = np.linspace(lo, hi, n_grid)
         values = self.distance_on_grid(grid)
         best = np.argmin(values, axis=1)
         step = (hi - lo) / (n_grid - 1)
         s_best = grid[best]
+        if prof is not None:
+            prof.add_phase(
+                "grid_scan", time.perf_counter() - t0, rows=len(self)
+            )
         return (
             s_best,
             np.clip(s_best - step, lo, hi),
@@ -255,6 +266,8 @@ class CompiledProjection:
         fused Horner pass (see ``pair_func`` in
         :func:`golden_section_search_batch`).
         """
+        prof = _active_profile()
+        t0 = time.perf_counter() if prof is not None else 0.0
         s_opt, _ = golden_section_search_batch(
             self.distance,
             lo,
@@ -263,6 +276,8 @@ class CompiledProjection:
             max_iter=max_iter,
             pair_func=lambda cd: horner_batch(self.coeffs, cd),
         )
+        if prof is not None:
+            prof.add_phase("gss", time.perf_counter() - t0, rows=len(self))
         return s_opt
 
     def newton_refine(
@@ -288,11 +303,15 @@ class CompiledProjection:
         micro-batcher relies on when it coalesces rows from unrelated
         requests into one solve.
         """
+        prof = _active_profile()
+        t0 = time.perf_counter() if prof is not None else 0.0
+        iterations = 0
         s = np.asarray(s, dtype=float).copy()
         active = np.ones(s.shape, dtype=bool)
         for _ in range(max_iter):
             if not np.any(active):
                 break
+            iterations += 1
             g = horner_pointwise(self.dcoeffs, s)
             dg = horner_pointwise(self.ddcoeffs, s)
             safe = active & (np.abs(dg) > 1e-14)
@@ -304,6 +323,11 @@ class CompiledProjection:
         candidates = np.stack([s, lo, hi], axis=-1)  # (n, 3)
         dists = horner_batch(self.coeffs, candidates)
         pick = np.argmin(dists, axis=1)
+        if prof is not None:
+            prof.add_phase(
+                "newton", time.perf_counter() - t0, rows=len(self)
+            )
+            prof.count("newton_iterations", iterations)
         return candidates[np.arange(s.size), pick]
 
     def polish(
@@ -338,4 +362,11 @@ class CompiledProjection:
 
     def minimize_exact(self, lo: float = 0.0, hi: float = 1.0) -> np.ndarray:
         """The ``"roots"`` path: exact stationary-point enumeration."""
-        return batched_minimize_on_interval(self.coeffs, lo, hi)
+        prof = _active_profile()
+        t0 = time.perf_counter() if prof is not None else 0.0
+        result = batched_minimize_on_interval(self.coeffs, lo, hi)
+        if prof is not None:
+            prof.add_phase(
+                "roots", time.perf_counter() - t0, rows=len(self)
+            )
+        return result

@@ -1,0 +1,65 @@
+"""Structured JSON-lines access log for the scoring daemon.
+
+One line per handled request — request id, route, status, duration,
+per-stage timings, micro-batch id — so an operator can grep a client's
+reported ``X-Request-Id`` and see exactly where its time went without
+the trace having to still be in the debug ring.
+
+Multi-process safety: under ``--workers N`` every worker appends to
+the *same* file.  Each record is serialised to one bytes object and
+written with a single ``write`` call on an ``O_APPEND`` descriptor;
+for lines under ``PIPE_BUF`` (the overwhelmingly common case — a
+record is a few hundred bytes) POSIX appends are atomic, so lines
+from different workers interleave whole, never torn.  A per-process
+lock serialises threads within a worker.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+
+
+class AccessLog:
+    """Append-only JSON-lines writer; ``"-"`` logs to stderr.
+
+    Stderr (not stdout) keeps log lines separable from the daemon's
+    boot messages, which the ops tooling parses for the bound address.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._lock = threading.Lock()
+        if self.path == "-":
+            self._fh = None
+        else:
+            # Line-buffered append; opened once so rotation-by-rename
+            # keeps old lines intact (reopen requires a restart or a
+            # copytruncate-style rotation, documented in docs/observability.md).
+            self._fh = open(  # noqa: SIM115 - lifetime = daemon lifetime
+                self.path, "a", encoding="utf-8", buffering=1
+            )
+
+    def write(self, record: dict) -> None:
+        """Append one record as a single JSON line (never raises)."""
+        try:
+            line = json.dumps(record, separators=(",", ":")) + "\n"
+        except (TypeError, ValueError):
+            return  # a log line must never take a request down
+        with self._lock:
+            try:
+                if self._fh is None:
+                    sys.stderr.write(line)
+                    sys.stderr.flush()
+                else:
+                    self._fh.write(line)
+            except (OSError, ValueError):
+                pass  # disk full / closed stream: drop the line, serve on
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass

@@ -1,0 +1,130 @@
+"""Fixed log-spaced latency buckets that merge exactly across workers.
+
+The shared fleet-metrics store used to keep a bounded *ring* of raw
+latency samples per worker and pool them at read time.  Rings have two
+problems at fleet scale: a percentile over pooled rings is only as
+representative as the ring length (old samples are overwritten, so a
+burst on one worker silently weights the estimate), and the ring cells
+dominate the store's footprint.  Histograms with **fixed, shared
+bucket bounds** fix both: bucket counts are plain sums — adding two
+workers' histograms *is* the fleet histogram, exactly, with no window
+bias — and the same bounds render directly as Prometheus
+``_bucket{le=...}`` series, so an external scraper aggregates shards
+with the same arithmetic we use in-process.
+
+The bounds are part of the on-disk shared-store layout and of the
+exposition format, so they are pinned by :data:`HISTOGRAM_FORMAT_VERSION`
+and golden-valued in the test suite: changing them silently would make
+two differently-versioned workers disagree about what cell means what.
+
+Bounds: 32 finite upper edges from 100 us to ~4.6 s, geometric ratio
+``sqrt(2)`` (two buckets per octave — resolution ~+/-19%, plenty for
+p50/p90/p99 on a serving path whose real spread is orders of
+magnitude), plus one overflow bucket (``+Inf``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+#: Version of the bucket layout.  Bump when :data:`LATENCY_BUCKET_BOUNDS`
+#: (or :data:`BATCH_FILL_BUCKETS`) change, and teach the shared store a
+#: migration; the test suite pins the bounds for the current version.
+HISTOGRAM_FORMAT_VERSION = 1
+
+#: Finite upper bucket edges in seconds, ascending.  A sample ``x``
+#: lands in the first bucket with ``x <= edge`` (Prometheus ``le``
+#: semantics); anything beyond the last edge lands in the overflow
+#: bucket.
+LATENCY_BUCKET_BOUNDS: Tuple[float, ...] = tuple(
+    1e-4 * 2.0 ** (i / 2.0) for i in range(32)
+)
+
+#: Finite edges + the overflow (``+Inf``) bucket.
+N_LATENCY_BUCKETS = len(LATENCY_BUCKET_BOUNDS) + 1
+
+#: Upper edges (requests per executed micro-batch) of the batch-fill
+#: distribution; powers of two because the adaptive window doubles.
+BATCH_FILL_BUCKETS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+
+_BOUNDS_ARRAY = np.asarray(LATENCY_BUCKET_BOUNDS)
+
+
+def bucket_index(seconds: float) -> int:
+    """Index of the bucket a latency sample falls in (``le`` semantics)."""
+    return int(np.searchsorted(_BOUNDS_ARRAY, seconds, side="left"))
+
+
+def percentile_from_buckets(
+    counts: Sequence[float],
+    q: float,
+    bounds: Sequence[float] = LATENCY_BUCKET_BOUNDS,
+) -> float:
+    """Estimate the ``q``-th percentile (0..100) from bucket counts.
+
+    Linear interpolation inside the bucket holding the target rank —
+    the same estimate ``histogram_quantile`` makes in PromQL, so the
+    numbers an operator sees in Grafana match ``/metrics`` JSON.  The
+    overflow bucket has no upper edge; ranks landing there report the
+    largest finite edge (a known-undershoot, flagged in the docs).
+    Returns ``0.0`` for an empty histogram.
+    """
+    counts = np.asarray(counts, dtype=float)
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    rank = total * (float(q) / 100.0)
+    cumulative = np.cumsum(counts)
+    idx = int(np.searchsorted(cumulative, rank, side="left"))
+    idx = min(idx, counts.size - 1)
+    if idx >= len(bounds):  # overflow bucket: no finite upper edge
+        return float(bounds[-1])
+    upper = float(bounds[idx])
+    lower = float(bounds[idx - 1]) if idx > 0 else 0.0
+    in_bucket = counts[idx]
+    if in_bucket <= 0:
+        return upper
+    prev_rank = cumulative[idx - 1] if idx > 0 else 0.0
+    frac = (rank - prev_rank) / in_bucket
+    return lower + (upper - lower) * min(max(frac, 0.0), 1.0)
+
+
+class LatencyHistogram:
+    """One endpoint's latency distribution in the shared bucket layout.
+
+    Kept by :class:`~repro.server.metrics.ServerMetrics` per endpoint
+    (single-process mode) and mirrored cell-for-cell into the shared
+    store (fleet mode).  ``observe`` is one ``searchsorted`` over 32
+    floats plus two adds — cheap enough for the request path.
+    """
+
+    __slots__ = ("counts", "sum")
+
+    def __init__(self):
+        self.counts = np.zeros(N_LATENCY_BUCKETS, dtype=np.float64)
+        self.sum = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.counts[bucket_index(seconds)] += 1.0
+        self.sum += float(seconds)
+
+    @property
+    def count(self) -> int:
+        return int(self.counts.sum())
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        merged = LatencyHistogram()
+        merged.counts = self.counts + other.counts
+        merged.sum = self.sum + other.sum
+        return merged
+
+    def percentile(self, q: float) -> float:
+        return percentile_from_buckets(self.counts, q)
+
+    def percentiles_ms(self, qs: Iterable[int]) -> Dict[str, float]:
+        """The ``latency_ms`` fragment of the ``/metrics`` payload."""
+        return {
+            f"p{q}": float(round(self.percentile(q) * 1e3, 3)) for q in qs
+        }

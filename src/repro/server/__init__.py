@@ -17,6 +17,12 @@ that share the listening socket and aggregate their metrics through a
 single engine calls with byte-identical responses.  Operations guide
 (sizing, batching trade-offs, proxy TLS/auth): ``docs/ops.md``.
 
+Observability (:mod:`repro.obs`): ``--trace`` records per-request
+stage spans served by ``GET /v1/debug/trace/<request-id>``,
+``--access-log`` writes one JSON line per request, and
+``GET /metrics?format=prometheus`` renders every counter and latency
+histogram in Prometheus text exposition — see ``docs/observability.md``.
+
 Quickstart
 ----------
 >>> from repro.server import ModelRegistry, ScoringHTTPServer
@@ -53,6 +59,8 @@ from repro.server.http import (
     ScoringRequestHandler,
 )
 from repro.server.metrics import (
+    ENGINE_CELL_KEYS,
+    STORE_FORMAT_VERSION,
     ServerMetrics,
     SharedMetricsStore,
     SharedMetricsWriter,
@@ -69,7 +77,9 @@ from repro.server.registry import (
 )
 
 __all__ = [
+    "ENGINE_CELL_KEYS",
     "MAX_BODY_BYTES",
+    "STORE_FORMAT_VERSION",
     "AdaptiveWindowController",
     "AdmissionController",
     "BatchAbortedError",

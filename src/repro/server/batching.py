@@ -54,6 +54,7 @@ disables coalescing entirely and every call scores synchronously.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import Callable, Dict, List, Optional, Tuple
@@ -61,6 +62,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.exceptions import ConfigurationError
+from repro.obs import engineprof
+from repro.obs.engineprof import EngineProfile
+from repro.obs.trace import NULL_TRACE
 
 #: Default rows a single micro-batch may accumulate before it is
 #: flushed early; also the size above which a request bypasses
@@ -137,14 +141,22 @@ class AdaptiveWindowController:
 
 
 class _Request:
-    """One caller's rows plus the slot its result lands in."""
+    """One caller's rows plus the slot its result lands in.
 
-    __slots__ = ("X", "result", "error")
+    ``trace`` and ``t_submit`` exist so the batch leader can stamp
+    queue-wait and execute spans into *every* member's trace — a
+    follower thread is asleep for that whole interval and cannot time
+    it itself.
+    """
 
-    def __init__(self, X: np.ndarray):
+    __slots__ = ("X", "result", "error", "trace", "t_submit")
+
+    def __init__(self, X: np.ndarray, trace=NULL_TRACE):
         self.X = X
         self.result: Optional[np.ndarray] = None
         self.error: Optional[BaseException] = None
+        self.trace = trace
+        self.t_submit = time.perf_counter()
 
 
 class _Batch:
@@ -187,6 +199,14 @@ class MicroBatcher:
         (under the batcher lock) after each merged execution — the
         daemon uses it to mirror batch-fill telemetry into the shared
         fleet metrics store.
+    on_execute:
+        Optional ``on_execute(profile)`` callback receiving the
+        :class:`~repro.obs.engineprof.EngineProfile` that covered one
+        scoring execution (merged call, fallback rescores, single or
+        bypass — exactly one callback per engine entry), invoked
+        *outside* the batcher lock.  The daemon feeds it to
+        ``ServerMetrics.observe_engine`` so solver telemetry counts
+        each solve once however requests were coalesced.
 
     Thread model: callers are the daemon's per-connection handler
     threads.  The first caller for a (model, width) key becomes the
@@ -203,6 +223,7 @@ class MicroBatcher:
         max_rows: int = DEFAULT_MAX_BATCH_ROWS,
         policy: str = "adaptive",
         on_flush: Optional[Callable[[int, int], None]] = None,
+        on_execute: Optional[Callable[[EngineProfile], None]] = None,
     ):
         window = float(window)
         max_rows = int(max_rows)
@@ -225,8 +246,10 @@ class MicroBatcher:
         self.policy = policy
         self._controller = AdaptiveWindowController(window, max_rows)
         self._on_flush = on_flush
+        self._on_execute = on_execute
         self._lock = threading.Lock()
         self._pending: Dict[Tuple[int, int], _Batch] = {}
+        self._batch_seq = 0
         # Telemetry (guarded by the same lock).
         self._inflight = 0
         self._requests_batched = 0
@@ -238,13 +261,18 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def score(self, model, X: np.ndarray) -> np.ndarray:
+    def score(self, model, X: np.ndarray, trace=NULL_TRACE) -> np.ndarray:
         """Score ``X`` with ``model``, possibly merged with other calls.
 
         Blocks until this request's scores are available (at most the
         window plus the merged call's own runtime) and returns exactly
         what ``score_fn(model, X)`` would have — or raises exactly what
         it would have raised.
+
+        ``trace``, when recording, receives ``queue`` (submit to
+        execution start) and ``execute`` spans, the batch identity,
+        and the execution's engine-profile snapshot; the default
+        :data:`~repro.obs.trace.NULL_TRACE` makes all of that a no-op.
         """
         X = np.asarray(X, dtype=float)
         if (
@@ -255,9 +283,9 @@ class MicroBatcher:
         ):
             with self._lock:
                 self._requests_direct += 1
-            return self._score_fn(model, X)
+            return self._scored_direct(model, X, trace)
 
-        request = _Request(X)
+        request = _Request(X, trace)
         key = (id(model), int(X.shape[1]))
         with self._lock:
             self._inflight += 1
@@ -374,6 +402,27 @@ class MicroBatcher:
             return self._controller.window()
         return self.window
 
+    def _scored_direct(self, model, X: np.ndarray, trace) -> np.ndarray:
+        """Bypass path: score synchronously, still profiled/traced."""
+        profile = (
+            EngineProfile()
+            if self._on_execute is not None or trace.enabled
+            else None
+        )
+        t_exec = time.perf_counter()
+        try:
+            if profile is None:
+                return self._score_fn(model, X)
+            with engineprof.activate(profile):
+                return self._score_fn(model, X)
+        finally:
+            if trace.enabled:
+                trace.add_span("execute", t_exec, time.perf_counter())
+                if profile is not None:
+                    trace.set_engine(profile.snapshot())
+            if self._on_execute is not None:
+                self._on_execute(profile)
+
     def _lead(self, key, batch: _Batch, model) -> None:
         """Wait out the window, close the batch, execute, scatter."""
         while not batch.full.is_set():
@@ -387,6 +436,8 @@ class MicroBatcher:
                 del self._pending[key]
             members = list(batch.members)
             self._batches_executed += 1
+            self._batch_seq += 1
+            batch_seq = self._batch_seq
             self._largest_batch = max(self._largest_batch, len(members))
             self._largest_batch_rows = max(
                 self._largest_batch_rows, int(batch.rows)
@@ -398,9 +449,41 @@ class MicroBatcher:
             self._controller.on_flush(len(members), int(batch.rows), depth)
             if self._on_flush is not None:
                 self._on_flush(len(members), int(batch.rows))
+        tracing = any(m.trace.enabled for m in members)
+        profile = (
+            EngineProfile()
+            if self._on_execute is not None or tracing
+            else None
+        )
+        t_exec = time.perf_counter()
         try:
-            self._execute(model, members)
+            if profile is None:
+                self._execute(model, members)
+            else:
+                with engineprof.activate(profile):
+                    self._execute(model, members)
         finally:
+            if tracing:
+                # Followers sleep through the queue + execute interval,
+                # so the leader stamps those spans into every member's
+                # trace before waking them.
+                t_done = time.perf_counter()
+                engine = profile.snapshot() if profile is not None else None
+                batch_meta = {
+                    "id": f"{os.getpid()}-{batch_seq}",
+                    "requests": len(members),
+                    "rows": int(batch.rows),
+                }
+                for member in members:
+                    if not member.trace.enabled:
+                        continue
+                    member.trace.add_span("queue", member.t_submit, t_exec)
+                    member.trace.add_span("execute", t_exec, t_done)
+                    member.trace.set("batch", batch_meta)
+                    if engine is not None:
+                        member.trace.set_engine(engine)
+            if self._on_execute is not None:
+                self._on_execute(profile)
             batch.done.set()
 
     def _execute(self, model, members: List[_Request]) -> None:

@@ -60,7 +60,7 @@ import time
 import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
@@ -70,6 +70,11 @@ from repro.core.exceptions import (
     NotFittedError,
 )
 from repro.core.scoring import build_ranking_list
+from repro.obs import engineprof
+from repro.obs.engineprof import EngineProfile
+from repro.obs.histogram import BATCH_FILL_BUCKETS, LATENCY_BUCKET_BOUNDS
+from repro.obs.prometheus import MetricFamily, render_exposition
+from repro.obs.trace import NULL_TRACE, Tracer
 from repro.server.admission import (
     DEFAULT_MAX_INFLIGHT,
     DEFAULT_RETRY_AFTER,
@@ -88,6 +93,9 @@ from repro.serving.batch import (
 
 #: ``/v1/models/<name>/score`` and ``/v1/models/<name>/rank``.
 _MODEL_ROUTE = re.compile(r"^/v1/models/([^/]+)/(score|rank)$")
+
+#: ``/v1/debug/trace/<request-id>`` — trace retrieval.
+_TRACE_ROUTE_PREFIX = "/v1/debug/trace/"
 
 #: Client-supplied ``X-Request-Id`` values are echoed only when they
 #: look like sane trace tokens; anything else (empty, oversized,
@@ -114,6 +122,14 @@ def _validate_keepalive_timeout(keepalive_timeout) -> None:
             f"{keepalive_timeout} (use a large value for an effectively "
             f"unbounded idle timeout)"
         )
+
+
+class _PlainText(str):
+    """Marker type: a handler payload sent as text, not JSON — how the
+    Prometheus exposition travels through ``_handle``'s common
+    record-then-respond path."""
+
+    content_type = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class _RequestError(Exception):
@@ -181,6 +197,13 @@ class ScoringHTTPServer(ThreadingHTTPServer):
         Pending-connection bound handed to ``listen(2)`` — the accept
         queue half of admission control (connections beyond it are
         refused by the kernel instead of queueing unboundedly).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  When given,
+        requests get per-stage span traces (per the tracer's sampling
+        mode) retrievable via ``GET /v1/debug/trace/<request-id>``,
+        and the tracer's access log (if any) receives one JSON line
+        per request.  ``None`` (the default) keeps the request path
+        exactly as it was before tracing existed.
     """
 
     daemon_threads = True
@@ -202,6 +225,7 @@ class ScoringHTTPServer(ThreadingHTTPServer):
         metrics_reader: Optional[SharedMetricsStore] = None,
         keepalive_timeout: float = 30.0,
         listen_backlog: int = 128,
+        tracer: Optional[Tracer] = None,
     ):
         # Fail fast on misconfiguration: a daemon that boots "healthy"
         # and then 400s every scoring request blames the client for an
@@ -253,6 +277,7 @@ class ScoringHTTPServer(ThreadingHTTPServer):
         self.n_jobs = n_jobs
         self.metrics = metrics if metrics is not None else ServerMetrics()
         self.metrics_reader = metrics_reader
+        self.tracer = tracer
         self.keepalive_timeout = float(keepalive_timeout)
         self._draining = threading.Event()
         self._handlers_lock = threading.Lock()
@@ -271,6 +296,7 @@ class ScoringHTTPServer(ThreadingHTTPServer):
             window=window,
             policy=policy,
             on_flush=self._record_batch_flush,
+            on_execute=self._record_engine_profile,
             **(
                 {"max_rows": int(max_batch_rows)}
                 if max_batch_rows is not None
@@ -280,6 +306,9 @@ class ScoringHTTPServer(ThreadingHTTPServer):
 
     def _record_batch_flush(self, n_requests: int, n_rows: int) -> None:
         self.metrics.observe_batch(n_requests, n_rows)
+
+    def _record_engine_profile(self, profile: EngineProfile) -> None:
+        self.metrics.observe_engine(profile)
 
     def apply_tuning(self, tuning: dict) -> dict:
         """Retune batching/admission knobs in place (``SIGHUP`` path).
@@ -373,13 +402,27 @@ class ScoringHTTPServer(ThreadingHTTPServer):
         with self._handlers_lock:
             self._handlers.discard(handler)
 
-    def score(self, model, X: np.ndarray) -> np.ndarray:
-        """Score a request body, through the micro-batcher when on."""
+    def score(self, model, X: np.ndarray, trace=NULL_TRACE) -> np.ndarray:
+        """Score a request body, through the micro-batcher when on.
+
+        ``trace`` (a recording :class:`~repro.obs.trace.Trace` or the
+        no-op :data:`NULL_TRACE`) receives queue/execute spans and the
+        engine-profile snapshot for this request.
+        """
         if self.batcher is not None:
-            return self.batcher.score(model, X)
-        return score_batch(
-            model, X, chunk_size=self.chunk_size, n_jobs=self.n_jobs
-        )
+            return self.batcher.score(model, X, trace)
+        profile = EngineProfile()
+        t_exec = time.perf_counter()
+        try:
+            with engineprof.activate(profile):
+                return score_batch(
+                    model, X, chunk_size=self.chunk_size, n_jobs=self.n_jobs
+                )
+        finally:
+            if trace.enabled:
+                trace.add_span("execute", t_exec, time.perf_counter())
+                trace.set_engine(profile.snapshot())
+            self.metrics.observe_engine(profile)
 
 
 class ScoringRequestHandler(BaseHTTPRequestHandler):
@@ -429,42 +472,63 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
         self._between_requests = False  # in a request: drain must wait
         self._request_id = self._resolve_request_id()
         path = urlsplit(self.path).path
+        # The debug endpoint is excluded from ring storage so polling
+        # for a trace can never evict the trace being polled for.
+        self._trace = self._begin_trace(
+            record_ok=not path.startswith(_TRACE_ROUTE_PREFIX)
+        )
         if path == "/healthz":
             self._handle("GET /healthz", self._get_healthz)
         elif path == "/metrics":
             self._handle("GET /metrics", self._get_metrics)
         elif path == "/v1/models":
             self._handle("GET /v1/models", self._get_models)
+        elif path.startswith(_TRACE_ROUTE_PREFIX):
+            self._handle(
+                "GET /v1/debug/trace/{id}", lambda: self._get_trace(path)
+            )
         elif _MODEL_ROUTE.match(path):
-            self._send_json(
-                405,
-                {"error": "use POST for scoring endpoints"},
-                headers={"Allow": "POST"},
-            )
-            self.server.metrics.observe(
-                "GET (scoring route)", 405, 0.0, request_id=self._request_id
-            )
+            self._handle("GET (scoring route)", self._get_scoring_route)
         else:
-            self._send_json(404, {"error": f"no route for {path!r}"})
-            self.server.metrics.observe(
-                "GET (unrouted)", 404, 0.0, request_id=self._request_id
-            )
+            self._handle("GET (unrouted)", self._no_route)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
         self._between_requests = False  # in a request: drain must wait
         self._request_id = self._resolve_request_id()
+        self._trace = self._begin_trace()
         path = urlsplit(self.path).path
         match = _MODEL_ROUTE.match(path)
         if match is None:
-            self._drain_body()
-            self._send_json(404, {"error": f"no route for {path!r}"})
-            self.server.metrics.observe(
-                "POST (unrouted)", 404, 0.0, request_id=self._request_id
-            )
+            self._handle("POST (unrouted)", self._post_no_route)
             return
         name, action = match.group(1), match.group(2)
         endpoint = f"POST /v1/models/{{name}}/{action}"
         self._handle(endpoint, lambda: self._post_model(name, action))
+
+    def _begin_trace(self, record_ok: bool = True):
+        """This request's trace — :data:`NULL_TRACE` unless a tracer is
+        configured (so a daemon without one runs the pre-tracing path
+        untouched)."""
+        tracer = self.server.tracer
+        if tracer is None:
+            return NULL_TRACE
+        return tracer.begin(self._request_id, record_ok=record_ok)
+
+    def _get_scoring_route(self) -> Tuple[int, dict, int]:
+        raise _RequestError(
+            405, "use POST for scoring endpoints", headers={"Allow": "POST"}
+        )
+
+    def _no_route(self) -> Tuple[int, dict, int]:
+        raise _RequestError(
+            404, f"no route for {urlsplit(self.path).path!r}"
+        )
+
+    def _post_no_route(self) -> Tuple[int, dict, int]:
+        self._drain_body()
+        raise _RequestError(
+            404, f"no route for {urlsplit(self.path).path!r}"
+        )
 
     def _resolve_request_id(self) -> str:
         """Echo a sane client ``X-Request-Id``; generate one otherwise.
@@ -490,6 +554,8 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
         }, 0
 
     def _get_metrics(self) -> Tuple[int, dict, int]:
+        if self._wants_prometheus():
+            return 200, _PlainText(_prometheus_exposition(self.server)), 0
         snapshot = self.server.metrics.snapshot()
         if self.server.metrics_reader is not None:
             # Multi-worker mode: totals, per-endpoint counters and
@@ -505,8 +571,64 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
             snapshot.update(merged)
         if self.server.batcher is not None:
             snapshot["micro_batcher"] = self.server.batcher.stats()
+            snapshot["batch_fill"] = (
+                self.server.metrics.batch_fill_snapshot()
+            )
         snapshot["admission"] = self.server.admission.stats()
+        # Additive observability keys (the pre-existing key set above
+        # is pinned byte-compatible by the test suite).
+        snapshot["engine"] = self._engine_json()
+        snapshot["registry"] = self.server.registry.stats()
+        if self.server.tracer is not None:
+            snapshot["tracer"] = self.server.tracer.stats()
         return 200, snapshot, 0
+
+    def _engine_json(self) -> dict:
+        """Solver telemetry — fleet-wide when a shared store exists."""
+        reader = self.server.metrics_reader
+        if reader is None:
+            return self.server.metrics.engine_snapshot()
+        cells = reader.merged_engine()
+        out = {
+            key: (
+                round(value, 6) if key.endswith("_seconds") else int(value)
+            )
+            for key, value in sorted(cells.items())
+            if value
+        }
+        hits = cells.get("warm_start_hits", 0)
+        misses = cells.get("warm_start_misses", 0)
+        if hits or misses:
+            out["warm_start_hit_rate"] = round(hits / (hits + misses), 4)
+        return out
+
+    def _wants_prometheus(self) -> bool:
+        """Content negotiation for ``/metrics``: an explicit
+        ``?format=`` wins; otherwise ``Accept: text/plain`` (without
+        ``application/json``) selects the exposition format."""
+        query = parse_qs(urlsplit(self.path).query)
+        fmt = (query.get("format") or [""])[-1].lower()
+        if fmt:
+            return fmt == "prometheus"
+        accept = self.headers.get("Accept") or ""
+        return "text/plain" in accept and "application/json" not in accept
+
+    def _get_trace(self, path: str) -> Tuple[int, dict, int]:
+        tracer = self.server.tracer
+        if tracer is None:
+            raise _RequestError(
+                404,
+                "tracing is not enabled (start the daemon with --trace)",
+            )
+        request_id = path[len(_TRACE_ROUTE_PREFIX):]
+        payload = tracer.get(request_id)
+        if payload is None:
+            raise _RequestError(
+                404,
+                f"no trace retained for request id {request_id!r} "
+                f"(evicted, unsampled, or never seen)",
+            )
+        return 200, {"trace": payload}, 0
 
     def _get_models(self) -> Tuple[int, dict, int]:
         return 200, {"models": self.server.registry.describe()}, 0
@@ -517,15 +639,17 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
         # connection closes instead of draining an arbitrarily large
         # upload just to refuse it.
         admission = self.server.admission
-        try:
-            admission.acquire(name)
-        except RequestShed as exc:
-            self.close_connection = True
-            raise _RequestError(
-                429,
-                str(exc),
-                headers={"Retry-After": admission.retry_after_header()},
-            ) from None
+        trace = self._trace
+        with trace.span("admission"):
+            try:
+                admission.acquire(name)
+            except RequestShed as exc:
+                self.close_connection = True
+                raise _RequestError(
+                    429,
+                    str(exc),
+                    headers={"Retry-After": admission.retry_after_header()},
+                ) from None
         try:
             return self._post_model_admitted(name, action)
         finally:
@@ -534,13 +658,17 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
     def _post_model_admitted(
         self, name: str, action: str
     ) -> Tuple[int, dict, int]:
-        body = self._read_json_body()
-        try:
-            model = self.server.registry.get(name)
-        except UnknownModelError as exc:
-            raise _RequestError(404, str(exc)) from None
+        trace = self._trace
+        with trace.span("parse"):
+            body = self._read_json_body()
+        with trace.span("registry"):
+            try:
+                model = self.server.registry.get(name)
+            except UnknownModelError as exc:
+                raise _RequestError(404, str(exc)) from None
 
-        X, single, labels = self._parse_scoring_body(body, action)
+        with trace.span("validate"):
+            X, single, labels = self._parse_scoring_body(body, action)
         if X.shape[0] == 0 and not model.is_fitted:
             # An empty batch skips score_batch (nothing to score), but
             # the documented taxonomy still promises 409 for unfitted
@@ -549,7 +677,7 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
                 409, str(NotFittedError("RankingPrincipalCurve"))
             )
         try:
-            scores = self.server.score(model, X)
+            scores = self.server.score(model, X, trace)
         except NotFittedError as exc:
             raise _RequestError(409, str(exc)) from None
         except DataValidationError as exc:
@@ -692,7 +820,8 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
     # Plumbing
     # ------------------------------------------------------------------
     def _handle(self, endpoint: str, handler) -> None:
-        """Run ``handler``, send its JSON, record metrics either way."""
+        """Run ``handler``, send its response, record metrics either way."""
+        trace = getattr(self, "_trace", NULL_TRACE)
         started = time.perf_counter()
         rows = 0
         headers: Optional[dict] = None
@@ -714,7 +843,27 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
             rows=rows,
             request_id=getattr(self, "_request_id", None),
         )
-        self._send_json(status, payload, headers=headers)
+        # Serialize (timed), then seal the trace *before* writing the
+        # response: a client that sees its response and immediately
+        # fetches /v1/debug/trace/<id> must find the trace retained —
+        # same reason metrics above record before responding.
+        with trace.span("serialize"):
+            if isinstance(payload, _PlainText):
+                body = str(payload).encode("utf-8")
+                content_type = _PlainText.content_type
+            else:
+                body = json.dumps(payload).encode("utf-8")
+                content_type = "application/json"
+        if trace.enabled:
+            self.server.tracer.finish(
+                trace,
+                endpoint,
+                urlsplit(self.path).path,
+                self.command,
+                status,
+                rows=rows,
+            )
+        self._send_body(status, body, content_type, headers)
 
     def _drain_body(self) -> None:
         """Consume an unrouted request's body so keep-alive stays sane."""
@@ -729,8 +878,17 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
         self, status: int, payload: dict, headers: Optional[dict] = None
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._send_body(status, body, "application/json", headers)
+
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: Optional[dict] = None,
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         request_id = getattr(self, "_request_id", None)
         if request_id is not None:
@@ -747,3 +905,192 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         """Silence the default stderr access log; /metrics covers it."""
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition (``GET /metrics?format=prometheus``)
+# ----------------------------------------------------------------------
+def _prometheus_exposition(server: ScoringHTTPServer) -> str:
+    """The scrape body: counters and histograms, fleet-wide when a
+    shared store is attached (worker slots sum exactly because every
+    series is a plain count — see :mod:`repro.server.metrics`).
+
+    Registry, admission, batcher and tracer gauges are per-worker
+    (whichever worker answered the scrape); the HELP strings say so.
+    """
+    metrics = server.metrics
+    reader = server.metrics_reader
+    if reader is not None:
+        merged = reader.merged()
+        endpoints = {
+            label: entry["by_status"]
+            for label, entry in merged["endpoints"].items()
+        }
+        rows_total = merged["rows_scored_total"]
+        errors_total = merged["errors_total"]
+        shed_total = merged["requests_shed_total"]
+        histograms = reader.merged_histograms()
+        engine = reader.merged_engine()
+        fill_counts, fill_sum = reader.merged_batch_fill()
+    else:
+        snapshot = metrics.snapshot()
+        endpoints = {
+            label: entry["by_status"]
+            for label, entry in snapshot["endpoints"].items()
+        }
+        rows_total = snapshot["rows_scored_total"]
+        errors_total = snapshot["errors_total"]
+        shed_total = snapshot["requests_shed_total"]
+        histograms = metrics.histograms()
+        engine = metrics.engine_cells()
+        fill_counts, fill_sum = metrics.batch_fill()
+
+    families = []
+
+    requests = MetricFamily(
+        "repro_requests_total",
+        "counter",
+        "Requests handled, by endpoint pattern and response status.",
+    )
+    for label in sorted(endpoints):
+        for status, count in sorted(endpoints[label].items()):
+            requests.add_sample(
+                count, {"endpoint": label, "status": str(status)}
+            )
+    families.append(requests)
+
+    for name, value, help_text in (
+        (
+            "repro_rows_scored_total",
+            rows_total,
+            "Observations scored across all scoring requests.",
+        ),
+        (
+            "repro_errors_total",
+            errors_total,
+            "Requests answered with status >= 400.",
+        ),
+        (
+            "repro_requests_shed_total",
+            shed_total,
+            "Scoring requests shed by admission control (429).",
+        ),
+    ):
+        family = MetricFamily(name, "counter", help_text)
+        family.add_sample(value)
+        families.append(family)
+
+    duration = MetricFamily(
+        "repro_request_duration_seconds",
+        "histogram",
+        "Request handling latency, by endpoint pattern.",
+    )
+    for label in sorted(histograms):
+        counts, total_seconds = histograms[label]
+        duration.add_histogram(
+            [float(c) for c in counts],
+            total_seconds,
+            LATENCY_BUCKET_BOUNDS,
+            {"endpoint": label},
+        )
+    families.append(duration)
+
+    phase_seconds = MetricFamily(
+        "repro_engine_phase_seconds_total",
+        "counter",
+        "Wall time inside each projection-engine solver phase.",
+    )
+    phase_rows = MetricFamily(
+        "repro_engine_phase_rows_total",
+        "counter",
+        "Rows projected by each projection-engine solver phase.",
+    )
+    for phase in engineprof.ENGINE_PHASES:
+        phase_seconds.add_sample(
+            float(engine.get(f"{phase}_seconds", 0.0)), {"phase": phase}
+        )
+        phase_rows.add_sample(
+            float(engine.get(f"{phase}_rows", 0)), {"phase": phase}
+        )
+    families.extend([phase_seconds, phase_rows])
+
+    for name, key, help_text in (
+        (
+            "repro_engine_newton_iterations_total",
+            "newton_iterations",
+            "Newton refinement iterations executed by the engine.",
+        ),
+        (
+            "repro_engine_warm_start_hits_total",
+            "warm_start_hits",
+            "Rows whose warm-start bracket held (no cold re-projection).",
+        ),
+        (
+            "repro_engine_warm_start_misses_total",
+            "warm_start_misses",
+            "Rows the warm-start safeguard sent back to a cold scan.",
+        ),
+    ):
+        family = MetricFamily(name, "counter", help_text)
+        family.add_sample(float(engine.get(key, 0)))
+        families.append(family)
+
+    fill = MetricFamily(
+        "repro_batch_fill_requests",
+        "histogram",
+        "Member requests coalesced per executed micro-batch.",
+    )
+    fill.add_histogram(
+        [float(c) for c in fill_counts],
+        fill_sum,
+        [float(b) for b in BATCH_FILL_BUCKETS],
+    )
+    families.append(fill)
+
+    registry_stats = server.registry.stats()
+    for name, key, help_text in (
+        (
+            "repro_registry_reload_checks_total",
+            "reload_checks",
+            "Model-file mtime checks performed (this worker).",
+        ),
+        (
+            "repro_registry_reloads_total",
+            "reloads",
+            "Successful hot reloads of a served model (this worker).",
+        ),
+        (
+            "repro_registry_reload_failures_total",
+            "reload_failures",
+            "Hot-reload attempts that failed (this worker).",
+        ),
+    ):
+        family = MetricFamily(name, "counter", help_text)
+        family.add_sample(registry_stats[key])
+        families.append(family)
+
+    uptime = MetricFamily(
+        "repro_server_uptime_seconds",
+        "gauge",
+        "Seconds since this worker's metrics began accumulating.",
+    )
+    uptime.add_sample(round(metrics.uptime_seconds, 3))
+    families.append(uptime)
+
+    if reader is not None:
+        workers = MetricFamily(
+            "repro_workers", "gauge", "Worker processes in the pool."
+        )
+        workers.add_sample(reader.n_slots)
+        families.append(workers)
+
+    if server.tracer is not None:
+        buffered = MetricFamily(
+            "repro_trace_buffered",
+            "gauge",
+            "Traces currently retained in this worker's ring buffer.",
+        )
+        buffered.add_sample(server.tracer.stats()["buffered"])
+        families.append(buffered)
+
+    return render_exposition(families)

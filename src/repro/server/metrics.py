@@ -8,7 +8,10 @@ bounded per-endpoint window (most recent :data:`DEFAULT_WINDOW`
 requests) — enough for stable p50/p90/p99 estimates without unbounded
 growth on a long-lived process.
 
-``GET /metrics`` returns :meth:`ServerMetrics.snapshot` as JSON.
+``GET /metrics`` returns :meth:`ServerMetrics.snapshot` as JSON; with
+``?format=prometheus`` (or ``Accept: text/plain``) the same counters
+render as Prometheus text exposition (see
+:mod:`repro.obs.prometheus`), with latency as histogram buckets.
 
 Multi-worker aggregation
 ------------------------
@@ -17,15 +20,24 @@ worker process keeps its own :class:`ServerMetrics`, but a client
 scraping ``/metrics`` hits *one* worker — whichever accepted the
 connection — and must still see fleet-wide totals.  Every observation
 is therefore mirrored into a :class:`SharedMetricsStore`: one
-memory-mapped file of plain ``float64`` counters and latency rings,
-one single-writer slot per worker.  The route set and the status codes
-the daemon emits are both small closed sets, so a slot is a fixed
-dense array — an observation is a handful of aligned 8-byte stores
-(no locks, no serialisation, no syscalls beyond the page cache), and
-the serving worker answers ``/metrics`` by summing all slots.
-Observations are recorded *before* the response is sent, so a client
-that reads ``/metrics`` after its requests completed always finds
-them counted, whichever workers served what.
+memory-mapped file of plain ``float64`` counters, one single-writer
+slot per worker.  The route set and the status codes the daemon emits
+are both small closed sets, so a slot is a fixed dense array — an
+observation is a handful of aligned 8-byte stores (no locks, no
+serialisation, no syscalls beyond the page cache), and the serving
+worker answers ``/metrics`` by summing all slots.  Observations are
+recorded *before* the response is sent, so a client that reads
+``/metrics`` after its requests completed always finds them counted,
+whichever workers served what.
+
+Latency lives in the store as **fixed log-spaced histogram buckets**
+(:mod:`repro.obs.histogram`) rather than the pre-observability sample
+rings: bucket counts are plain sums, so merging worker slots is exact
+— no ring-window bias, no pooling heuristics — and the identical
+buckets render as Prometheus ``_bucket`` series.  The engine-profile
+counters (rows per solver, Newton iterations, warm-start hits) and the
+micro-batch fill distribution are mirrored the same way, so fleet
+totals stay exact under ``--workers N``.
 """
 
 from __future__ import annotations
@@ -36,6 +48,14 @@ from collections import Counter, deque
 from typing import Deque, Dict, Optional
 
 import numpy as np
+
+from repro.obs.histogram import (
+    BATCH_FILL_BUCKETS,
+    N_LATENCY_BUCKETS,
+    LatencyHistogram,
+    bucket_index,
+    percentile_from_buckets,
+)
 
 #: Latency observations retained per endpoint for percentile estimates.
 DEFAULT_WINDOW = 1024
@@ -59,6 +79,7 @@ SHARED_ENDPOINTS = (
     "GET /v1/models",
     "POST /v1/models/{name}/score",
     "POST /v1/models/{name}/rank",
+    "GET /v1/debug/trace/{id}",
     "GET (scoring route)",
     "GET (unrouted)",
     "POST (unrouted)",
@@ -74,9 +95,36 @@ SHARED_STATUSES = (200, 400, 404, 405, 408, 409, 411, 413, 422, 429, 500)
 #: any other response so fleet ``served + shed == offered`` is exact.
 SHED_STATUS = 429
 
-#: Latency ring length per endpoint per worker in the shared store.
-#: Smaller than :data:`DEFAULT_WINDOW` because the merged estimate
-#: pools the rings of every worker.
+#: Engine-profile cells mirrored per slot, in layout order: wall time
+#: and rows per solver phase, then the solver-quality counters.  The
+#: keys match :meth:`repro.obs.engineprof.EngineProfile.totals`.
+ENGINE_CELL_KEYS = (
+    "grid_scan_seconds",
+    "grid_scan_rows",
+    "gss_seconds",
+    "gss_rows",
+    "newton_seconds",
+    "newton_rows",
+    "roots_seconds",
+    "roots_rows",
+    "newton_iterations",
+    "warm_start_hits",
+    "warm_start_misses",
+)
+
+#: Layout version of the shared store.  Version 2 replaced the PR 5
+#: latency sample rings with the fixed histogram buckets of
+#: :mod:`repro.obs.histogram` and added the engine/batch-fill cells.
+#: Bump on any cell-layout change: every process mapping one file must
+#: agree on what each cell means (the pool forks workers from one
+#: parent, so in practice versions only meet across *code* versions —
+#: which is exactly the accident this constant is pinned against).
+STORE_FORMAT_VERSION = 2
+
+#: Retained for backward compatibility (the PR 5/6 test harnesses use
+#: it to size overflow workloads).  Since format version 2 the shared
+#: store keeps latency as histogram buckets, not rings, so this no
+#: longer bounds anything — merged counts stay exact at any volume.
 SHARED_LATENCY_RING = 256
 
 
@@ -99,9 +147,16 @@ class ServerMetrics:
         self._counts: Counter[str] = Counter()
         self._statuses: Dict[str, Counter[int]] = {}
         self._latencies: Dict[str, Deque[float]] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
         self._rows_scored = 0
         self._errors_total = 0
         self._recent_errors: Deque[dict] = deque(maxlen=ERROR_WINDOW)
+        self._engine: Dict[str, float] = {}
+        self._engine_calls = 0
+        self._batch_fill = np.zeros(
+            len(BATCH_FILL_BUCKETS) + 1, dtype=np.float64
+        )
+        self._batch_fill_requests = 0
         self._mirror = mirror
 
     def observe(
@@ -139,6 +194,10 @@ class ServerMetrics:
             self._latencies.setdefault(
                 endpoint, deque(maxlen=self._window)
             ).append(float(seconds))
+            hist = self._histograms.get(endpoint)
+            if hist is None:
+                hist = self._histograms[endpoint] = LatencyHistogram()
+            hist.observe(seconds)
             self._rows_scored += int(rows)
             if int(status) >= 400:
                 self._errors_total += 1
@@ -157,16 +216,94 @@ class ServerMetrics:
         with self._lock:
             return self._rows_scored
 
-    def observe_batch(self, n_requests: int, n_rows: int) -> None:
-        """Record one executed micro-batch (fill telemetry only).
+    @property
+    def uptime_seconds(self) -> float:
+        return time.time() - self._started
 
-        Forwarded to the shared store in multi-worker mode so that
-        ``/metrics`` can report fleet-wide batch-fill high-water marks;
-        the per-worker detail lives in ``MicroBatcher.stats()``.
+    def observe_batch(self, n_requests: int, n_rows: int) -> None:
+        """Record one executed micro-batch (fill telemetry).
+
+        Tracks the batch-fill distribution locally (how many member
+        requests executed batches actually coalesce — the adaptive
+        window's effectiveness signal) and forwards it to the shared
+        store in multi-worker mode so ``/metrics`` can report it
+        fleet-wide; the rest of the per-worker detail lives in
+        ``MicroBatcher.stats()``.
         """
         with self._lock:
+            self._batch_fill[_fill_bucket(n_requests)] += 1.0
+            self._batch_fill_requests += int(n_requests)
             if self._mirror is not None:
                 self._mirror.record_batch(n_requests, n_rows)
+
+    def observe_engine(self, profile) -> None:
+        """Fold one scoring call's :class:`EngineProfile` into totals.
+
+        Called once per engine execution (direct request or merged
+        micro-batch) with a profile that covered exactly that call, so
+        accumulated totals are exact however requests were coalesced.
+        """
+        totals = profile.totals()
+        if not totals:
+            return
+        with self._lock:
+            self._engine_calls += 1
+            for key, value in totals.items():
+                self._engine[key] = self._engine.get(key, 0.0) + value
+            if self._mirror is not None:
+                self._mirror.record_engine(totals)
+
+    def engine_snapshot(self) -> dict:
+        """Accumulated solver telemetry (the ``engine`` payload key).
+
+        Kept out of :meth:`snapshot` so that payload stays
+        byte-compatible with its pre-observability key set; the HTTP
+        layer composes the two.
+        """
+        with self._lock:
+            out = {
+                key: (
+                    round(value, 6)
+                    if key.endswith("_seconds")
+                    else int(value)
+                )
+                for key, value in sorted(self._engine.items())
+            }
+            out["scoring_calls"] = self._engine_calls
+            hits = out.get("warm_start_hits", 0)
+            misses = out.get("warm_start_misses", 0)
+            if hits or misses:
+                out["warm_start_hit_rate"] = round(
+                    hits / (hits + misses), 4
+                )
+            return out
+
+    def engine_cells(self) -> Dict[str, float]:
+        """Raw accumulated engine totals (unrounded, cell-keyed)."""
+        with self._lock:
+            return dict(self._engine)
+
+    def batch_fill(self) -> tuple:
+        """Local ``(fill_bucket_counts, total_member_requests)``."""
+        with self._lock:
+            return self._batch_fill.copy(), float(self._batch_fill_requests)
+
+    def batch_fill_snapshot(self) -> dict:
+        """Local batch-fill distribution (counts per size bucket)."""
+        with self._lock:
+            return {
+                "buckets": [int(b) for b in BATCH_FILL_BUCKETS],
+                "counts": [int(c) for c in self._batch_fill],
+                "requests_in_batches": int(self._batch_fill_requests),
+            }
+
+    def histograms(self) -> Dict[str, tuple]:
+        """Per-endpoint ``(bucket_counts, sum_seconds)`` snapshots."""
+        with self._lock:
+            return {
+                endpoint: (hist.counts.copy(), float(hist.sum))
+                for endpoint, hist in self._histograms.items()
+            }
 
     def snapshot(self) -> dict:
         """A JSON-serialisable view of everything recorded so far."""
@@ -203,24 +340,42 @@ class ServerMetrics:
             }
 
 
+def _fill_bucket(n_requests: int) -> int:
+    """Batch-fill bucket index (``le`` semantics, last = overflow)."""
+    for i, edge in enumerate(BATCH_FILL_BUCKETS):
+        if n_requests <= edge:
+            return i
+    return len(BATCH_FILL_BUCKETS)
+
+
 # ----------------------------------------------------------------------
 # Cross-process aggregation (``--workers N``)
 # ----------------------------------------------------------------------
 #: Per-slot layout of the shared store, in float64 cells:
 #: ``[counts (E x S) | rows_scored | largest_batch_requests |
-#: largest_batch_rows | latency heads (E) | rings (E x R)]``
+#: largest_batch_rows | batch-fill buckets (+overflow) |
+#: batch-fill request sum | engine cells | latency histograms
+#: (E x (buckets + sum))]`` — see :data:`STORE_FORMAT_VERSION`.
 _N_ENDPOINTS = len(SHARED_ENDPOINTS)
 _N_STATUSES = len(SHARED_STATUSES) + 1  # + catch-all bucket
 _COUNTS_CELLS = _N_ENDPOINTS * _N_STATUSES
 _ROWS_CELL = _COUNTS_CELLS
 _BATCH_REQS_CELL = _ROWS_CELL + 1
 _BATCH_ROWS_CELL = _BATCH_REQS_CELL + 1
-_HEADS_OFFSET = _BATCH_ROWS_CELL + 1
-_RINGS_OFFSET = _HEADS_OFFSET + _N_ENDPOINTS
-SLOT_CELLS = _RINGS_OFFSET + _N_ENDPOINTS * SHARED_LATENCY_RING
+_FILL_OFFSET = _BATCH_ROWS_CELL + 1
+_N_FILL_BUCKETS = len(BATCH_FILL_BUCKETS) + 1
+_FILL_SUM_CELL = _FILL_OFFSET + _N_FILL_BUCKETS
+_ENGINE_OFFSET = _FILL_SUM_CELL + 1
+_N_ENGINE_CELLS = len(ENGINE_CELL_KEYS)
+_HIST_OFFSET = _ENGINE_OFFSET + _N_ENGINE_CELLS
+#: Histogram cells per endpoint: the bucket counts plus the sum of
+#: observed seconds (the count is the bucket total, not a cell).
+_HIST_CELLS = N_LATENCY_BUCKETS + 1
+SLOT_CELLS = _HIST_OFFSET + _N_ENDPOINTS * _HIST_CELLS
 
 _ENDPOINT_INDEX = {label: i for i, label in enumerate(SHARED_ENDPOINTS)}
 _STATUS_INDEX = {code: i for i, code in enumerate(SHARED_STATUSES)}
+_ENGINE_INDEX = {key: i for i, key in enumerate(ENGINE_CELL_KEYS)}
 
 
 class SharedMetricsStore:
@@ -260,7 +415,8 @@ class SharedMetricsStore:
         Returns the aggregation fragment of the ``/metrics`` payload:
         ``requests_total`` / ``rows_scored_total`` / ``errors_total``,
         per-endpoint request and status counts, latency percentiles
-        estimated from the pooled per-worker rings, and the per-worker
+        estimated from the summed histogram buckets (exact bucket
+        merges — see :mod:`repro.obs.histogram`), and the per-worker
         request totals (handy for spotting a dead or starved worker).
         """
         cells = np.array(self._cells, dtype=np.float64)  # snapshot copy
@@ -268,6 +424,7 @@ class SharedMetricsStore:
             self.n_slots, _N_ENDPOINTS, _N_STATUSES
         )
         total_counts = counts.sum(axis=0)  # (E, S)
+        histograms = self._merged_histogram_cells(cells)
         endpoints: Dict[str, dict] = {}
         for e, label in enumerate(SHARED_ENDPOINTS):
             requests = int(total_counts[e].sum())
@@ -280,13 +437,17 @@ class SharedMetricsStore:
             }
             if total_counts[e, -1] > 0:
                 by_status["other"] = int(total_counts[e, -1])
-            window = _pooled_ring(cells, e)
             entry = {"requests": requests, "by_status": by_status}
-            if window.size:
-                quantiles = np.percentile(window * 1e3, PERCENTILES)
+            bucket_counts, _ = histograms[label]
+            if bucket_counts.sum() > 0:
                 entry["latency_ms"] = {
-                    f"p{p}": float(round(q, 3))
-                    for p, q in zip(PERCENTILES, quantiles)
+                    f"p{p}": float(
+                        round(
+                            percentile_from_buckets(bucket_counts, p) * 1e3,
+                            3,
+                        )
+                    )
+                    for p in PERCENTILES
                 }
             endpoints[label] = entry
         status_codes = np.array(list(SHARED_STATUSES) + [0])
@@ -318,18 +479,48 @@ class SharedMetricsStore:
             }
         return merged
 
+    def merged_histograms(self) -> Dict[str, tuple]:
+        """Per-endpoint ``(bucket_counts, sum_seconds)`` fleet sums,
+        for endpoints that have observed at least one request."""
+        cells = np.array(self._cells, dtype=np.float64)
+        return {
+            label: pair
+            for label, pair in self._merged_histogram_cells(cells).items()
+            if pair[0].sum() > 0
+        }
 
-def _pooled_ring(cells: np.ndarray, endpoint: int) -> np.ndarray:
-    """Valid latency samples of one endpoint across every slot."""
-    heads = cells[:, _HEADS_OFFSET + endpoint].astype(np.int64)
-    start = _RINGS_OFFSET + endpoint * SHARED_LATENCY_RING
-    rings = cells[:, start:start + SHARED_LATENCY_RING]
-    parts = [
-        rings[slot, : min(int(heads[slot]), SHARED_LATENCY_RING)]
-        for slot in range(cells.shape[0])
-        if heads[slot] > 0
-    ]
-    return np.concatenate(parts) if parts else np.empty(0)
+    def merged_engine(self) -> Dict[str, float]:
+        """Fleet-summed engine cells keyed by :data:`ENGINE_CELL_KEYS`."""
+        cells = np.array(self._cells, dtype=np.float64)
+        sums = cells[
+            :, _ENGINE_OFFSET:_ENGINE_OFFSET + _N_ENGINE_CELLS
+        ].sum(axis=0)
+        return {
+            key: (
+                float(sums[i])
+                if key.endswith("_seconds")
+                else int(sums[i])
+            )
+            for key, i in _ENGINE_INDEX.items()
+        }
+
+    def merged_batch_fill(self) -> tuple:
+        """Fleet ``(fill_bucket_counts, total_member_requests)``."""
+        cells = np.array(self._cells, dtype=np.float64)
+        counts = cells[
+            :, _FILL_OFFSET:_FILL_OFFSET + _N_FILL_BUCKETS
+        ].sum(axis=0)
+        return counts, float(cells[:, _FILL_SUM_CELL].sum())
+
+    @staticmethod
+    def _merged_histogram_cells(cells: np.ndarray) -> Dict[str, tuple]:
+        hists = cells[:, _HIST_OFFSET:].reshape(
+            cells.shape[0], _N_ENDPOINTS, _HIST_CELLS
+        ).sum(axis=0)
+        return {
+            label: (hists[e, :N_LATENCY_BUCKETS], float(hists[e, -1]))
+            for label, e in _ENDPOINT_INDEX.items()
+        }
 
 
 class SharedMetricsWriter:
@@ -357,17 +548,27 @@ class SharedMetricsWriter:
         row[e * _N_STATUSES + s] += 1.0
         if rows:
             row[_ROWS_CELL] += float(rows)
-        head = int(row[_HEADS_OFFSET + e])
-        ring_at = _RINGS_OFFSET + e * SHARED_LATENCY_RING
-        row[ring_at + head % SHARED_LATENCY_RING] = float(seconds)
-        # Bump the head only after the sample is in place, so a
-        # concurrent reader never pools an uninitialised cell.
-        row[_HEADS_OFFSET + e] = float(head + 1)
+        hist_at = _HIST_OFFSET + e * _HIST_CELLS
+        row[hist_at + bucket_index(seconds)] += 1.0
+        row[hist_at + _HIST_CELLS - 1] += float(seconds)
 
     def record_batch(self, n_requests: int, n_rows: int) -> None:
-        """Keep the slot's batch-fill high-water marks current."""
+        """Fold one executed batch into the slot's fill telemetry."""
         row = self._row
         if n_requests > row[_BATCH_REQS_CELL]:
             row[_BATCH_REQS_CELL] = float(n_requests)
         if n_rows > row[_BATCH_ROWS_CELL]:
             row[_BATCH_ROWS_CELL] = float(n_rows)
+        row[_FILL_OFFSET + _fill_bucket(n_requests)] += 1.0
+        row[_FILL_SUM_CELL] += float(n_requests)
+
+    def record_engine(self, totals: Dict[str, float]) -> None:
+        """Add one scoring call's engine-profile totals to the slot.
+
+        Unknown keys are ignored (an engine phase added without a cell
+        should degrade to "not mirrored", not corrupt a neighbour)."""
+        row = self._row
+        for key, value in totals.items():
+            i = _ENGINE_INDEX.get(key)
+            if i is not None:
+                row[_ENGINE_OFFSET + i] += float(value)

@@ -51,6 +51,13 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.exceptions import ConfigurationError
+from repro.obs.accesslog import AccessLog
+from repro.obs.trace import (
+    DEFAULT_SAMPLE_EVERY,
+    DEFAULT_TRACE_BUFFER,
+    TRACE_MODES,
+    Tracer,
+)
 from repro.server.admission import (
     DEFAULT_MAX_INFLIGHT,
     DEFAULT_RETRY_AFTER,
@@ -100,6 +107,10 @@ class WorkerPool:
         keepalive_timeout: float = 30.0,
         listen_backlog: int = 128,
         drain_grace: float = DEFAULT_DRAIN_GRACE,
+        trace_mode: str = "off",
+        trace_sample: int = DEFAULT_SAMPLE_EVERY,
+        trace_buffer: int = DEFAULT_TRACE_BUFFER,
+        access_log: Optional[str] = None,
     ):
         if int(workers) < 1:
             raise ConfigurationError(
@@ -135,6 +146,18 @@ class WorkerPool:
             raise ConfigurationError(
                 f"listen_backlog must be >= 1, got {listen_backlog}"
             )
+        if trace_mode not in TRACE_MODES:
+            raise ConfigurationError(
+                f"--trace must be one of {TRACE_MODES}, got {trace_mode!r}"
+            )
+        if int(trace_sample) < 1:
+            raise ConfigurationError(
+                f"--trace-sample must be >= 1, got {trace_sample}"
+            )
+        if int(trace_buffer) < 1:
+            raise ConfigurationError(
+                f"--trace-buffer must be >= 1, got {trace_buffer}"
+            )
         self.model_specs = list(model_specs)
         self.host = host
         self.port = int(port)
@@ -152,6 +175,10 @@ class WorkerPool:
         self.keepalive_timeout = float(keepalive_timeout)
         self.listen_backlog = int(listen_backlog)
         self.drain_grace = float(drain_grace)
+        self.trace_mode = trace_mode
+        self.trace_sample = int(trace_sample)
+        self.trace_buffer = int(trace_buffer)
+        self.access_log = access_log
         self._socket: Optional[socket.socket] = None
         self._metrics_dir: Optional[str] = None
         self._pids: Dict[int, int] = {}  # pid -> slot
@@ -196,6 +223,11 @@ class WorkerPool:
         SharedMetricsStore(
             self._metrics_path, self.workers, create=True
         )
+        if self.trace_mode != "off":
+            # Shared trace spill directory: the worker that records a
+            # trace and the worker that answers /v1/debug/trace/<id>
+            # are usually different processes (fleet retrieval).
+            os.mkdir(self._traces_dir)
         exit_code = 0
         try:
             # Handlers go in before the first fork so there is no
@@ -257,6 +289,11 @@ class WorkerPool:
     def _metrics_path(self) -> str:
         assert self._metrics_dir is not None
         return os.path.join(self._metrics_dir, "metrics.mmap")
+
+    @property
+    def _traces_dir(self) -> str:
+        assert self._metrics_dir is not None
+        return os.path.join(self._metrics_dir, "traces")
 
     def _spawn(self, slot: int) -> None:
         pid = os.fork()
@@ -335,6 +372,24 @@ class WorkerPool:
             for name, path in self.model_specs:
                 registry.register(name, path)
             store = SharedMetricsStore(self._metrics_path, self.workers)
+            tracer = None
+            if self.trace_mode != "off" or self.access_log is not None:
+                tracer = Tracer(
+                    mode=self.trace_mode,
+                    sample_every=self.trace_sample,
+                    capacity=self.trace_buffer,
+                    spill_dir=(
+                        self._traces_dir
+                        if self.trace_mode != "off"
+                        else None
+                    ),
+                    worker_slot=slot,
+                    access_log=(
+                        AccessLog(self.access_log)
+                        if self.access_log is not None
+                        else None
+                    ),
+                )
             server = ScoringHTTPServer(
                 (self.host, self.port),
                 registry,
@@ -350,6 +405,7 @@ class WorkerPool:
                 listen_socket=self._socket,
                 metrics_reader=store,
                 keepalive_timeout=self.keepalive_timeout,
+                tracer=tracer,
             )
             server.worker_slot = slot
             # Graceful drain needs the in-flight handler threads to be

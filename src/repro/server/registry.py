@@ -87,6 +87,12 @@ class ModelRegistry:
         self._lock = threading.RLock()
         self._models: Dict[str, RegisteredModel] = {}
         self.check_mtime = bool(check_mtime)
+        # Reload telemetry, guarded by its own small lock so bumping a
+        # counter never contends with the name->entry mapping.
+        self._stats_lock = threading.Lock()
+        self._reload_checks = 0
+        self._reloads = 0
+        self._reload_failures = 0
 
     def register(
         self, name: str, path: str | pathlib.Path
@@ -138,8 +144,25 @@ class ModelRegistry:
         with self._lock:
             return name in self._models
 
-    @staticmethod
-    def _maybe_reload(entry: RegisteredModel) -> None:
+    def stats(self) -> dict:
+        """Hot-reload telemetry (surfaced under ``/metrics``).
+
+        ``reload_checks`` counts mtime stats actually performed (a
+        check skipped because another thread held the entry's reload
+        lock is not counted — the caller served without waiting);
+        ``reloads`` counts successful model swaps; ``reload_failures``
+        counts stat or load errors that left the previous model
+        serving.
+        """
+        with self._stats_lock:
+            return {
+                "check_mtime": self.check_mtime,
+                "reload_checks": self._reload_checks,
+                "reloads": self._reloads,
+                "reload_failures": self._reload_failures,
+            }
+
+    def _maybe_reload(self, entry: RegisteredModel) -> None:
         """Swap in the on-disk model if its mtime moved.
 
         Runs *without* the registry lock (disk I/O must not stall other
@@ -150,11 +173,15 @@ class ModelRegistry:
         if not entry.reload_lock.acquire(blocking=False):
             return
         try:
+            with self._stats_lock:
+                self._reload_checks += 1
             try:
                 mtime_ns = entry.path.stat().st_mtime_ns
             except OSError as exc:
                 # File vanished: keep serving the loaded model, note why.
                 entry.last_error = f"stat failed: {exc}"
+                with self._stats_lock:
+                    self._reload_failures += 1
                 return
             if mtime_ns == entry.mtime_ns:
                 return
@@ -165,9 +192,13 @@ class ModelRegistry:
                 # serving; mtime is left unchanged so the next access
                 # retries.
                 entry.last_error = f"reload failed: {exc}"
+                with self._stats_lock:
+                    self._reload_failures += 1
                 return
             entry.mtime_ns = mtime_ns
             entry.loads += 1
             entry.last_error = None
+            with self._stats_lock:
+                self._reloads += 1
         finally:
             entry.reload_lock.release()

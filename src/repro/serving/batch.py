@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.core.exceptions import ConfigurationError
 from repro.core.rpc import RankingPrincipalCurve
+from repro.obs import engineprof
 
 #: Default rows per projection chunk — a few MB of temporaries at the
 #: default ``n_grid`` of 32, small enough for any serving box, large
@@ -162,9 +163,20 @@ def score_batch(
     if not spans:
         return out
 
+    # Pool threads do not inherit the submitting thread's context, so
+    # an active engine profile (repro.obs.engineprof) must be captured
+    # here and re-activated per span or chunked work would go
+    # uncounted; the profile accumulates under a lock, so concurrent
+    # spans feeding one profile stay exact.
+    profile = engineprof.current()
+
     def _score_span(span: Tuple[int, int]) -> None:
         start, stop = span
-        out[start:stop] = model.score_samples(X[start:stop])
+        if profile is None:
+            out[start:stop] = model.score_samples(X[start:stop])
+        else:
+            with engineprof.activate(profile):
+                out[start:stop] = model.score_samples(X[start:stop])
 
     with ThreadPoolExecutor(
         max_workers=min(n_jobs, len(spans))
