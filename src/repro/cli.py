@@ -59,6 +59,7 @@ from repro.core.exceptions import (
 from repro.core.rpc import RankingPrincipalCurve
 from repro.core.scoring import build_ranking_list
 from repro.data.loaders import load_csv, parse_alpha_spec, save_ranking_csv
+from repro.linalg.backend import BACKEND_CHOICES, SCORE_DTYPE_CHOICES
 from repro.serving.batch import score_batch
 from repro.serving.persistence import check_model_path, load_model, save_model
 from repro.serving.stream import (
@@ -197,6 +198,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="rows buffered in memory before the external sort spills "
         "a sorted run to disk (with --rank; default 1000000)",
+    )
+    score.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default="auto",
+        help="projection kernel backend: 'auto' (default) picks the "
+        "fastest available (numba if importable, else closed-form), "
+        "'numpy' is the eigenvalue reference, 'closed-form' solves "
+        "stationary polynomials analytically, 'numba' requires the "
+        "optional numba package (see docs/performance.md)",
+    )
+    score.add_argument(
+        "--score-dtype",
+        choices=SCORE_DTYPE_CHOICES,
+        default="float64",
+        dest="score_dtype",
+        help="working precision for the projection solve; 'float32' "
+        "halves memory bandwidth at ~1e-3 score tolerance (output "
+        "scores are always float64; default 'float64')",
     )
 
     serve = sub.add_parser(
@@ -357,6 +377,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="append one JSON line per request (request id, stage "
         "timings, batch id) to PATH; '-' logs to stderr",
     )
+    serve.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default="auto",
+        help="projection kernel backend for every scoring request: "
+        "'auto' (default) picks the fastest available, 'numpy' is the "
+        "eigenvalue reference, 'closed-form' solves stationary "
+        "polynomials analytically, 'numba' requires the optional "
+        "numba package (see docs/performance.md)",
+    )
+    serve.add_argument(
+        "--score-dtype",
+        choices=SCORE_DTYPE_CHOICES,
+        default="float64",
+        dest="score_dtype",
+        help="working precision for the projection solve; 'float32' "
+        "halves memory bandwidth at ~1e-3 score tolerance (responses "
+        "stay float64; default 'float64')",
+    )
     return parser
 
 
@@ -493,6 +532,8 @@ def _run_score(args: argparse.Namespace) -> int:
             chunk_size=args.chunk_size,
             label_column=args.label_column,
             n_jobs=args.jobs,
+            backend=args.backend,
+            dtype=args.score_dtype,
             memory_budget_rows=args.memory_budget_rows,
             head=max(args.top, 0),
         )
@@ -519,6 +560,8 @@ def _run_score(args: argparse.Namespace) -> int:
             chunk_size=args.chunk_size,
             label_column=args.label_column,
             n_jobs=args.jobs,
+            backend=args.backend,
+            dtype=args.score_dtype,
         )
         print(
             f"scored {n_rows} objects with saved model {args.model_path} "
@@ -545,6 +588,8 @@ def _run_score(args: argparse.Namespace) -> int:
             chunk_size=args.chunk_size,
             label_column=args.label_column,
             n_jobs=args.jobs,
+            backend=args.backend,
+            dtype=args.score_dtype,
         ):
             labels.extend(chunk_labels)
             score_chunks.append(chunk_scores)
@@ -562,7 +607,12 @@ def _run_score(args: argparse.Namespace) -> int:
             )
         labels = table.labels
         scores = score_batch(
-            model, table.X, chunk_size=args.chunk_size, n_jobs=args.jobs
+            model,
+            table.X,
+            chunk_size=args.chunk_size,
+            n_jobs=args.jobs,
+            backend=args.backend,
+            dtype=args.score_dtype,
         )
     ranking = build_ranking_list(scores, labels=labels)
     print(
@@ -655,6 +705,8 @@ def _run_serve(args: argparse.Namespace) -> int:
             retry_after=retry_after,
             keepalive_timeout=args.keepalive_timeout,
             tuning_file=args.tuning_file,
+            backend=args.backend,
+            score_dtype=args.score_dtype,
             check_mtime=not args.no_reload,
             trace_mode=args.trace,
             trace_sample=args.trace_sample,
@@ -708,6 +760,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_inflight_per_model=args.max_inflight_per_model,
         retry_after=retry_after,
         keepalive_timeout=args.keepalive_timeout,
+        backend=args.backend,
+        score_dtype=args.score_dtype,
         tracer=tracer,
     )
     host, port = server.server_address[:2]

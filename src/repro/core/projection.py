@@ -114,6 +114,8 @@ def project_points(
     tol: float = 1e-10,
     s0: Optional[np.ndarray] = None,
     engine: Optional[ProjectionEngine] = None,
+    backend=None,
+    dtype=None,
 ) -> np.ndarray:
     """Compute projection scores for every row of ``X``.
 
@@ -148,6 +150,15 @@ def project_points(
         conversion, self-product coefficients) is paid once.  An engine
         built for a *different* curve is ignored and rebuilt — passing
         a stale engine can never change the scores.
+    backend:
+        Optional kernel backend (name or
+        :class:`~repro.linalg.backend.KernelBackend` instance) for this
+        batch; ``None`` keeps the engine's default (the numpy
+        reference).  See :mod:`repro.linalg.backend`.
+    dtype:
+        Optional scoring work dtype (``"float32"`` opt-in); ``None``
+        means float64.  Returned scores are float64 regardless — the
+        dtype only controls the solver work vectors.
 
     Returns
     -------
@@ -160,13 +171,14 @@ def project_points(
     X = np.asarray(X, dtype=float)
     if engine is None or engine.curve is not curve:
         engine = ProjectionEngine(curve)
-    compiled = engine.compile(X)
+    compiled = engine.compile(X, backend=backend, dtype=dtype)
     if method == "roots":
-        return compiled.minimize_exact()
+        return _as_scores(compiled.minimize_exact())
     if s0 is not None:
         return _project_warm(
             curve, X, s0, method=method, n_grid=n_grid, tol=tol,
             engine=engine, compiled=compiled,
+            backend=backend, dtype=dtype,
         )
     if method == "gss":
         _, lo, hi = compiled.bracket(n_grid)
@@ -176,8 +188,17 @@ def project_points(
         # always done this) and let the polish do the last digits.
         coarse_tol = max(tol, 1e-4)
         s = compiled.solve_gss(lo, hi, tol=coarse_tol)
-        return compiled.polish(s, half_width=2.0 * coarse_tol)
-    return _project_newton(compiled, n_grid=n_grid, tol=tol)
+        return _as_scores(compiled.polish(s, half_width=2.0 * coarse_tol))
+    return _as_scores(_project_newton(compiled, n_grid=n_grid, tol=tol))
+
+
+def _as_scores(s: np.ndarray) -> np.ndarray:
+    """Scores are float64 at the API boundary whatever the work dtype.
+
+    A no-op (same array object) on the float64 path, so the historical
+    byte-identity contracts are untouched.
+    """
+    return np.asarray(s, dtype=float)
 
 
 def _project_warm(
@@ -189,6 +210,8 @@ def _project_warm(
     tol: float,
     engine: ProjectionEngine,
     compiled: CompiledProjection,
+    backend=None,
+    dtype=None,
 ) -> np.ndarray:
     """Warm-started projection: narrow brackets around ``s0`` + safeguard.
 
@@ -237,14 +260,14 @@ def _project_warm(
     if np.any(escaped):
         s_cold = project_points(
             curve, X[escaped], method=method, n_grid=n_grid, tol=tol,
-            engine=engine,
+            engine=engine, backend=backend, dtype=dtype,
         )
         d_cold = compiled[escaped].distance(s_cold)
         better = d_cold < d_warm[escaped]
         replacement = s_warm[escaped]
         replacement[better] = s_cold[better]
         s_warm[escaped] = replacement
-    return s_warm
+    return _as_scores(s_warm)
 
 
 def _polish_scores(

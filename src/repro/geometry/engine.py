@@ -40,9 +40,12 @@ from typing import Tuple
 import numpy as np
 
 from repro.core.exceptions import ConfigurationError
+from repro.linalg.backend import (
+    KernelBackend,
+    resolve_backend,
+    resolve_score_dtype,
+)
 from repro.linalg.golden_section import golden_section_search_batch
-from repro.linalg.horner import horner_batch, horner_pointwise
-from repro.linalg.polyroots import batched_minimize_on_interval
 from repro.obs.engineprof import current as _active_profile
 
 
@@ -108,15 +111,21 @@ class ProjectionEngine:
     the serving paths hold exactly one per fitted model.
     """
 
-    def __init__(self, curve):
+    def __init__(self, curve, backend=None):
         self._curve = curve
         self._C = curve.power_coefficients()  # (d, k + 1)
         self._ff = curve_self_product_coefficients(self._C)
+        self._backend = resolve_backend(backend)
 
     @property
     def curve(self):
         """The curve this engine was compiled from."""
         return self._curve
+
+    @property
+    def backend(self) -> KernelBackend:
+        """The kernel backend compilations default to."""
+        return self._backend
 
     @property
     def degree(self) -> int:
@@ -126,17 +135,34 @@ class ProjectionEngine:
     def dimension(self) -> int:
         return self._C.shape[0]
 
-    def compile(self, X: np.ndarray) -> "CompiledProjection":
-        """Bind a data batch, returning its compiled distance polynomials."""
+    def compile(
+        self, X: np.ndarray, backend=None, dtype=None
+    ) -> "CompiledProjection":
+        """Bind a data batch, returning its compiled distance polynomials.
+
+        ``backend``/``dtype`` override the engine default per
+        compilation — backend and scoring dtype are properties of a
+        *batch*, not the curve, so the per-model engine cache stays
+        valid whatever mix of requests it serves.
+        """
         X = np.asarray(X, dtype=float)
         if X.ndim != 2 or X.shape[1] != self.dimension:
             raise ConfigurationError(
                 f"X must have shape (n, {self.dimension}), got {X.shape}"
             )
+        backend = self._backend if backend is None else resolve_backend(backend)
+        work_dtype = resolve_score_dtype(dtype)
+        prof = _active_profile()
+        if prof is not None:
+            prof.count(f"backend_{backend.name.replace('-', '_')}_compiles")
+            if work_dtype == np.dtype(np.float32):
+                prof.count("float32_rows", X.shape[0])
         return CompiledProjection(
             squared_distance_coefficients(self._C, X, ff=self._ff),
             X=X,
             C=self._C,
+            backend=backend,
+            dtype=work_dtype,
         )
 
 
@@ -153,27 +179,47 @@ class CompiledProjection:
         coeffs: np.ndarray,
         X: np.ndarray = None,
         C: np.ndarray = None,
+        backend=None,
+        dtype=None,
     ):
-        coeffs = np.atleast_2d(np.asarray(coeffs, dtype=float))
+        self._backend = resolve_backend(backend)
+        self.dtype = resolve_score_dtype(dtype)
+        coeffs = np.atleast_2d(np.asarray(coeffs))
+        if coeffs.dtype != self.dtype:
+            # The polynomials are always *compiled* in float64 (the fit
+            # is float64); float32 is applied here so every solver work
+            # vector below inherits it.
+            coeffs = coeffs.astype(self.dtype)
         self.coeffs = coeffs
         m = coeffs.shape[1]
-        powers = np.arange(1, m)
+        powers = np.arange(1, m, dtype=coeffs.dtype)
         self.dcoeffs = (
-            coeffs[:, 1:] * powers if m > 1 else np.zeros((coeffs.shape[0], 1))
+            coeffs[:, 1:] * powers
+            if m > 1
+            else np.zeros((coeffs.shape[0], 1), dtype=coeffs.dtype)
         )
         self.ddcoeffs = (
             self.dcoeffs[:, 1:] * powers[: m - 2]
             if m > 2
-            else np.zeros((coeffs.shape[0], 1))
+            else np.zeros((coeffs.shape[0], 1), dtype=coeffs.dtype)
         )
         # Optional data/curve views enabling the BLAS grid-scan fast
         # path of :meth:`distance_on_grid`; purely an optimisation, the
         # Horner fallback computes the same distances.
+        if X is not None and np.asarray(X).dtype != self.dtype:
+            X = np.asarray(X).astype(self.dtype)
+        if C is not None and np.asarray(C).dtype != self.dtype:
+            C = np.asarray(C).astype(self.dtype)
         self._X = X
         self._C = C
         self._sqnorm = (
             np.sum(X**2, axis=1) if X is not None and C is not None else None
         )
+
+    @property
+    def backend(self) -> KernelBackend:
+        """The kernel backend this compilation runs on."""
+        return self._backend
 
     def __len__(self) -> int:
         return self.coeffs.shape[0]
@@ -184,6 +230,8 @@ class CompiledProjection:
             self.coeffs[rows],
             X=self._X[rows] if self._X is not None else None,
             C=self._C,
+            backend=self._backend,
+            dtype=self.dtype,
         )
 
     # ------------------------------------------------------------------
@@ -191,7 +239,7 @@ class CompiledProjection:
     # ------------------------------------------------------------------
     def distance(self, s: np.ndarray) -> np.ndarray:
         """``||x_i - f(s_i)||^2`` per row, shape ``(n,)``."""
-        return horner_pointwise(self.coeffs, s)
+        return self._backend.horner_pointwise(self.coeffs, s)
 
     def distance_on_grid(self, grid: np.ndarray) -> np.ndarray:
         """Distances of every row to ``f`` on a shared grid, ``(n, g)``.
@@ -203,11 +251,11 @@ class CompiledProjection:
         over all ``n * g`` entries (row-invariant by construction, see
         :func:`_row_invariant_product`).
         """
-        grid = np.asarray(grid, dtype=float).ravel()
+        grid = np.asarray(grid, dtype=self.dtype).ravel()
         if self._X is None or self._C is None:
-            return horner_batch(self.coeffs, grid)
+            return self._backend.horner_batch(self.coeffs, grid)
         k = self._C.shape[1] - 1
-        Z = np.empty((k + 1, grid.size))
+        Z = np.empty((k + 1, grid.size), dtype=self.dtype)
         Z[0] = 1.0
         for j in range(1, k + 1):
             np.multiply(Z[j - 1], grid, out=Z[j])
@@ -238,7 +286,7 @@ class CompiledProjection:
         # profile is active — see :mod:`repro.obs.engineprof`.
         prof = _active_profile()
         t0 = time.perf_counter() if prof is not None else 0.0
-        grid = np.linspace(lo, hi, n_grid)
+        grid = np.linspace(lo, hi, n_grid, dtype=self.dtype)
         values = self.distance_on_grid(grid)
         best = np.argmin(values, axis=1)
         step = (hi - lo) / (n_grid - 1)
@@ -264,17 +312,20 @@ class CompiledProjection:
 
         Both interior points of every iteration are evaluated in one
         fused Horner pass (see ``pair_func`` in
-        :func:`golden_section_search_batch`).
+        :func:`golden_section_search_batch`).  Under float32 the
+        convergence tolerance is clamped to a few float32 ulps (an
+        exact no-op for float64 defaults) so already-converged rows
+        don't spin against a sub-resolution threshold.
         """
         prof = _active_profile()
         t0 = time.perf_counter() if prof is not None else 0.0
         s_opt, _ = golden_section_search_batch(
             self.distance,
-            lo,
-            hi,
-            tol=tol,
+            np.asarray(lo, dtype=self.dtype),
+            np.asarray(hi, dtype=self.dtype),
+            tol=max(tol, 4.0 * float(np.finfo(self.dtype).eps)),
             max_iter=max_iter,
-            pair_func=lambda cd: horner_batch(self.coeffs, cd),
+            pair_func=lambda cd: self._backend.horner_batch(self.coeffs, cd),
         )
         if prof is not None:
             prof.add_phase("gss", time.perf_counter() - t0, rows=len(self))
@@ -306,14 +357,17 @@ class CompiledProjection:
         prof = _active_profile()
         t0 = time.perf_counter() if prof is not None else 0.0
         iterations = 0
-        s = np.asarray(s, dtype=float).copy()
+        tol = max(tol, 4.0 * float(np.finfo(self.dtype).eps))
+        s = np.asarray(s, dtype=self.dtype).copy()
+        lo = np.asarray(lo, dtype=self.dtype)
+        hi = np.asarray(hi, dtype=self.dtype)
         active = np.ones(s.shape, dtype=bool)
         for _ in range(max_iter):
             if not np.any(active):
                 break
             iterations += 1
-            g = horner_pointwise(self.dcoeffs, s)
-            dg = horner_pointwise(self.ddcoeffs, s)
+            g = self._backend.horner_pointwise(self.dcoeffs, s)
+            dg = self._backend.horner_pointwise(self.ddcoeffs, s)
             safe = active & (np.abs(dg) > 1e-14)
             delta = np.zeros_like(s)
             delta[safe] = g[safe] / dg[safe]
@@ -321,7 +375,7 @@ class CompiledProjection:
             active = active & (np.abs(s_new - s) >= tol)
             s = s_new
         candidates = np.stack([s, lo, hi], axis=-1)  # (n, 3)
-        dists = horner_batch(self.coeffs, candidates)
+        dists = self._backend.horner_batch(self.coeffs, candidates)
         pick = np.argmin(dists, axis=1)
         if prof is not None:
             prof.add_phase(
@@ -352,19 +406,30 @@ class CompiledProjection:
         ~1e-8 jitter came from.  The slack admits at most a noise-level
         distance increase, i.e. an ``O(sqrt(eps))``-in-``s`` move.
         """
+        s = np.asarray(s, dtype=self.dtype)
         lo = np.clip(s - half_width, 0.0, 1.0)
         hi = np.clip(s + half_width, 0.0, 1.0)
         s_new = self.newton_refine(s, lo, hi, tol=tol, max_iter=4)
         d_old = self.distance(s)
-        slack = 64.0 * np.finfo(float).eps * (1.0 + np.abs(d_old))
+        slack = 64.0 * np.finfo(self.dtype).eps * (1.0 + np.abs(d_old))
         improved = self.distance(s_new) <= d_old + slack
         return np.where(improved, s_new, s)
 
     def minimize_exact(self, lo: float = 0.0, hi: float = 1.0) -> np.ndarray:
-        """The ``"roots"`` path: exact stationary-point enumeration."""
+        """The ``"roots"`` path: exact stationary-point enumeration.
+
+        Dispatches to the backend's stationary solver (stacked-eigvals
+        reference or the closed-form/isolation path).  Root finding
+        always runs in float64 — closed-form discriminants are fragile
+        in float32 and the solve is a once-per-batch cost, so the
+        float32 mode only accelerates the iterative solvers.
+        """
         prof = _active_profile()
         t0 = time.perf_counter() if prof is not None else 0.0
-        result = batched_minimize_on_interval(self.coeffs, lo, hi)
+        coeffs = self.coeffs
+        if coeffs.dtype != np.float64:
+            coeffs = coeffs.astype(np.float64)
+        result = self._backend.minimize_stationary(coeffs, lo, hi)
         if prof is not None:
             prof.add_phase(
                 "roots", time.perf_counter() - t0, rows=len(self)

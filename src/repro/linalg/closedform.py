@@ -1,0 +1,611 @@
+"""Closed-form and bracketed real-root solvers — the eigvals-free path.
+
+The ``projection="roots"`` solver needs the real roots of the stationary
+polynomial ``D'(s)`` (Eq.(20) of the paper) on ``[0, 1]``.  The batched
+reference (:func:`repro.linalg.polyroots.batched_real_roots`) builds one
+stacked companion matrix and calls ``np.linalg.eigvals`` — robust, but
+an O(deg^3)-per-row LAPACK call that dominates the roots path (flagged
+in PR 3 and the ROADMAP).  This module removes ``eigvals`` entirely:
+
+* degree <= 4: classic closed forms with numerically-careful branch
+  selection — cancellation-free quadratic (Vieta for the small root),
+  trigonometric triple-root / Cardano single-root cubic split on the
+  discriminant, and Ferrari's quartic via the largest resolvent-cubic
+  root with a biquadratic branch when the depressed odd term vanishes.
+  Every batch is finished with a couple of vectorised Newton steps, so
+  the analytic branches only need to land in the basin of attraction.
+* degree >= 5 (Abel–Ruffini: no algebraic solution exists): recursive
+  monotone-interval isolation.  The sign-crossing roots of ``p'`` on
+  ``[lo, hi]`` — obtained by recursing until the closed forms take over
+  at degree 4 — partition the interval into pieces on which ``p`` is
+  monotone; each sign change then brackets exactly one root, pinned by
+  a safeguarded vectorised Newton/bisection.
+
+Tangential (even-multiplicity) roots are not reported by the isolation
+tier.  That is deliberate and *sufficient* for minimisation: an even
+root of ``D'`` is a point where ``D`` is monotone through a flat spot,
+never a strict minimiser — and omitting a non-crossing root of ``p'``
+from the partition still leaves ``p`` monotone on the merged piece, so
+the recursion stays sound.
+
+Per-slot freezes only (no batch-wide reductions feed back into row
+results), so the output is batch-split invariant like the rest of the
+projection stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.linalg.horner import horner_batch, horner_pointwise
+
+#: A coefficient whose magnitude is at most ``lead_tol`` times the
+#: row's largest is treated as zero when deciding effective degree —
+#: the same relative-deflation convention as ``batched_real_roots``.
+DEFAULT_LEAD_TOL = 1e-12
+
+#: Iteration cap for the safeguarded Newton/bisection.  Bisection alone
+#: halves the bracket each step, so ~60 iterations resolve a unit
+#: interval to 1 ulp; Newton takes over long before that.  Converged
+#: slots freeze individually and the loop exits when all are frozen.
+_ISOLATE_MAX_ITER = 80
+
+
+def _effective_degrees(coeffs: np.ndarray, lead_tol: float) -> np.ndarray:
+    """Per-row effective degree under relative deflation (-1: zero row)."""
+    scale = np.max(np.abs(coeffs), axis=1)
+    notsmall = np.abs(coeffs) > lead_tol * scale[:, np.newaxis]
+    has_any = notsmall.any(axis=1)
+    deg = coeffs.shape[1] - 1
+    return np.where(has_any, deg - np.argmax(notsmall[:, ::-1], axis=1), -1)
+
+
+def _polish(
+    coeffs: np.ndarray,
+    roots: np.ndarray,
+    valid: np.ndarray,
+    steps: int = 2,
+) -> np.ndarray:
+    """Vectorised Newton polish of root candidates against ``coeffs``.
+
+    Steps are accepted only when they shrink ``|f|``: at a multiple
+    root both ``f`` and ``f'`` are roundoff-sized and a raw Newton
+    step ``f/f'`` can throw an already-correct root O(1) away.
+    """
+    m = coeffs.shape[1]
+    if m < 2 or steps <= 0:
+        return roots
+    dcoeffs = coeffs[:, 1:] * np.arange(1.0, m)
+    x = np.where(valid, roots, 0.0)
+    fx = horner_batch(coeffs, x)
+    for _ in range(steps):
+        dfx = horner_batch(dcoeffs, x)
+        safe = np.abs(dfx) > 1e-300
+        xn = x - np.where(safe, fx / np.where(safe, dfx, 1.0), 0.0)
+        fn = horner_batch(coeffs, xn)
+        better = np.abs(fn) < np.abs(fx)
+        x = np.where(better, xn, x)
+        fx = np.where(better, fn, fx)
+    return np.where(valid, x, roots)
+
+
+def _roots_quadratic(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Real roots of ``a s^2 + b s + c`` (``a`` non-negligible): (g, 2)."""
+    disc = b * b - 4.0 * a * c
+    # A discriminant that is zero in exact arithmetic (double root) can
+    # round slightly negative; accept it relative to the term scale so
+    # double roots are reported instead of silently dropped.
+    real = disc >= -1e-12 * (b * b + 4.0 * np.abs(a * c))
+    sq = np.sqrt(np.maximum(disc, 0.0))
+    # Cancellation-free split: the larger-|.| root from the same-sign
+    # numerator q = -(b + sign(b) sqrt(disc)) / 2, the other via Vieta.
+    q = -0.5 * (b + np.where(b >= 0.0, sq, -sq))
+    r1 = np.where(real, q / a, 0.0)
+    safe_q = q != 0.0
+    r2 = np.where(real & safe_q, c / np.where(safe_q, q, 1.0), r1)
+    roots = np.stack([r1, r2], axis=1)
+    valid = np.stack([real, real], axis=1)
+    return roots, valid
+
+
+def _roots_cubic(coeffs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Real roots of ``g`` cubics, ascending coeffs ``(g, 4)``: (g, 3).
+
+    Depress to ``t^3 + p t + q`` and split on the discriminant
+    ``-4 p^3 - 27 q^2``: three real roots use the trigonometric form
+    (immune to the cancellation Cardano suffers near equal roots), one
+    real root uses Cardano with a same-sign cube-root numerator.  Near
+    the discriminant-zero boundary the (near-)double root ``cbrt(q/2)``
+    is emitted as an extra candidate so callers that need the *largest*
+    real root (the quartic resolvent) don't lose it to roundoff.
+    """
+    inv_lead = 1.0 / coeffs[:, 3]
+    c0 = coeffs[:, 0] * inv_lead
+    c1 = coeffs[:, 1] * inv_lead
+    c2 = coeffs[:, 2] * inv_lead
+    shift = c2 / 3.0
+    p = c1 - 3.0 * shift * shift
+    q = 2.0 * shift**3 - shift * c1 + c0
+
+    disc = -4.0 * p**3 - 27.0 * q * q
+    scale_disc = 4.0 * np.abs(p) ** 3 + 27.0 * q * q
+    three = disc > 0.0  # implies p < 0 strictly
+    border = np.abs(disc) <= 1e-10 * scale_disc
+
+    # Three-real branch: t_k = 2 sqrt(-p/3) cos(theta/3 - 2 pi k / 3).
+    pm = np.where(three, p, -1.0)  # placeholder keeps sqrt/arccos defined
+    mcoef = 2.0 * np.sqrt(-pm / 3.0)
+    arg = np.clip(3.0 * q / (pm * mcoef), -1.0, 1.0)
+    theta = np.arccos(arg) / 3.0
+    k = np.array([0.0, 1.0, 2.0])
+    t3 = mcoef[:, np.newaxis] * np.cos(
+        theta[:, np.newaxis] - (2.0 * np.pi / 3.0) * k[np.newaxis, :]
+    )
+
+    # One-real branch (Cardano): w = -q/2 - sign(q) sqrt(q^2/4 + p^3/27)
+    # adds same-sign terms, u = cbrt(w), t = u - p/(3u).
+    halfq = 0.5 * q
+    inner = halfq * halfq + (p / 3.0) ** 3
+    root_inner = np.sqrt(np.maximum(inner, 0.0))
+    w = -halfq - np.where(q >= 0.0, root_inner, -root_inner)
+    u = np.cbrt(w)
+    safe_u = u != 0.0
+    t1 = np.where(safe_u, u - p / (3.0 * np.where(safe_u, u, 1.0)), 0.0)
+    # Near disc == 0 the double root is t = cbrt(q/2) = -u.
+    t_double = -u
+
+    t = np.where(
+        three[:, np.newaxis],
+        t3,
+        np.stack([t1, t_double, t_double], axis=1),
+    )
+    valid = np.empty(t.shape, dtype=bool)
+    valid[:, 0] = True
+    valid[:, 1] = three | border
+    valid[:, 2] = three
+    return t - shift[:, np.newaxis], valid
+
+
+def _cubic_largest_root(
+    c0: np.ndarray, c1: np.ndarray, c2: np.ndarray
+) -> np.ndarray:
+    """Largest real root of ``g`` monic cubics ``t^3 + c2 t^2 + c1 t + c0``.
+
+    The Ferrari resolvent only needs the largest root, and in the
+    three-real trigonometric branch that is always the ``k = 0`` shift
+    (``theta/3`` lies in ``[0, pi/3]``, where the other two cosine
+    shifts are smaller) — so the full three-root stack of
+    :func:`_roots_cubic` can be skipped on this hot path.  Taking the
+    monic coefficients directly also skips the leading-coefficient
+    division (the resolvent is constructed monic).
+    """
+    shift = c2 / 3.0
+    sh2 = shift * shift
+    p = c1 - 3.0 * sh2
+    q = 2.0 * sh2 * shift - shift * c1 + c0
+
+    disc = -4.0 * p**3 - 27.0 * q * q
+    scale_disc = 4.0 * np.abs(p) ** 3 + 27.0 * q * q
+    three = disc > 0.0
+    border = np.abs(disc) <= 1e-10 * scale_disc
+
+    # Evaluate each branch only on its own rows — the transcendental
+    # calls (arccos/cos vs cbrt) dominate this helper's cost.
+    t = np.empty_like(p)
+    if np.any(three):
+        p3 = p[three]
+        mcoef = 2.0 * np.sqrt(-p3 / 3.0)
+        arg = np.clip(3.0 * q[three] / (p3 * mcoef), -1.0, 1.0)
+        t[three] = mcoef * np.cos(np.arccos(arg) / 3.0)
+    one = ~three
+    if np.any(one):
+        p1 = p[one]
+        q1 = q[one]
+        halfq = 0.5 * q1
+        inner = halfq * halfq + (p1 / 3.0) ** 3
+        root_inner = np.sqrt(np.maximum(inner, 0.0))
+        w = -halfq - np.where(q1 >= 0.0, root_inner, -root_inner)
+        u = np.cbrt(w)
+        safe_u = u != 0.0
+        t_one = np.where(
+            safe_u, u - p1 / (3.0 * np.where(safe_u, u, 1.0)), 0.0
+        )
+        t[one] = np.where(border[one], np.maximum(t_one, -u), t_one)
+
+    return t - shift
+
+
+def _roots_quartic(coeffs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Real roots of ``g`` quartics, ascending coeffs ``(g, 5)``: (g, 4).
+
+    Ferrari: depress to ``y^4 + p y^2 + q y + r``, take the largest real
+    root ``m`` of the resolvent cubic ``m^3 + p m^2 + (p^2/4 - r) m -
+    q^2/8``, and factor into two quadratics ``y^2 +- alpha y + beta``
+    with ``alpha = sqrt(2 m)``.  When the odd term ``q`` vanishes the
+    resolvent root degenerates to ``m = 0`` and ``q / (2 alpha)`` is
+    0/0 — those rows take the biquadratic branch instead.
+    """
+    inv_lead = 1.0 / coeffs[:, 4]
+    a = coeffs[:, 3] * inv_lead
+    b = coeffs[:, 2] * inv_lead
+    c = coeffs[:, 1] * inv_lead
+    d = coeffs[:, 0] * inv_lead
+    shift = 0.25 * a  # roots_s = roots_y - shift
+    sh2 = shift * shift
+    p = b - 6.0 * sh2
+    q = c - 2.0 * b * shift + 8.0 * sh2 * shift
+    r = d - c * shift + b * sh2 - 3.0 * sh2 * sh2
+
+    # Characteristic root magnitude of the depressed quartic; the
+    # biquadratic test must be scale-invariant under s -> lambda s.
+    y_scale = np.maximum.reduce(
+        [
+            np.sqrt(np.abs(p)),
+            np.cbrt(np.abs(q)),
+            np.sqrt(np.sqrt(np.abs(r))),
+            np.full_like(p, 1e-150),
+        ]
+    )
+    biquad = np.abs(q) <= 1e-12 * y_scale**3
+
+    g = coeffs.shape[0]
+    y = np.zeros((g, 4))
+    yvalid = np.zeros((g, 4), dtype=bool)
+    bi = np.nonzero(biquad)[0]
+    fe = np.nonzero(~biquad)[0]
+
+    # Biquadratic branch: z = y^2, z^2 + p z + r = 0, y = +-sqrt(z).
+    # Each branch runs on its own rows only — for generic data the
+    # biquadratic rows are rare and the Ferrari arithmetic dominates.
+    if bi.size:
+        pb = p[bi]
+        z, zvalid = _roots_quadratic(np.ones_like(pb), pb, r[bi])
+        z_tol = 1e-12 * y_scale[bi] ** 2
+        z_ok = zvalid & (z >= -z_tol[:, np.newaxis])
+        sqrt_z = np.sqrt(np.maximum(z, 0.0))
+        y[bi] = np.stack(
+            [sqrt_z[:, 0], -sqrt_z[:, 0], sqrt_z[:, 1], -sqrt_z[:, 1]],
+            axis=1,
+        )
+        yvalid[bi] = np.stack(
+            [z_ok[:, 0], z_ok[:, 0], z_ok[:, 1], z_ok[:, 1]], axis=1
+        )
+
+    # Ferrari branch.
+    if fe.size:
+        pf = p[fe]
+        qf = q[fe]
+        m = np.maximum(
+            _cubic_largest_root(
+                -qf * qf / 8.0, pf * pf / 4.0 - r[fe], pf
+            ),
+            0.0,
+        )
+        alpha = np.sqrt(2.0 * m)
+        safe_alpha = alpha > 0.0
+        qa = np.where(
+            safe_alpha, qf / np.where(safe_alpha, 2.0 * alpha, 1.0), 0.0
+        )
+        beta1 = 0.5 * pf + m - qa
+        beta2 = 0.5 * pf + m + qa
+        r12, v12 = _roots_quadratic(np.ones_like(alpha), alpha, beta1)
+        r34, v34 = _roots_quadratic(np.ones_like(alpha), -alpha, beta2)
+        y[fe] = np.concatenate([r12, r34], axis=1)
+        yvalid[fe] = np.concatenate([v12, v34], axis=1)
+
+    return y - shift[:, np.newaxis], yvalid
+
+
+def closed_form_real_roots(
+    coeffs: np.ndarray,
+    lead_tol: float = DEFAULT_LEAD_TOL,
+    polish_steps: int = 2,
+) -> tuple[np.ndarray, np.ndarray]:
+    """All real roots of ``n`` polynomials of degree <= 4, analytically.
+
+    Rows are dispatched by effective degree (relative deflation with
+    ``lead_tol``, matching ``batched_real_roots``) to the linear,
+    quadratic, cubic or quartic closed form, then Newton-polished
+    against the deflated coefficients.
+
+    Returns
+    -------
+    (roots, valid):
+        ``roots`` of shape ``(n, deg)`` (junk where invalid) and the
+        boolean mask of genuine real roots.
+    """
+    coeffs = np.atleast_2d(np.asarray(coeffs, dtype=float))
+    n, m = coeffs.shape
+    if m == 0:
+        raise ConfigurationError("empty coefficient matrix")
+    deg = m - 1
+    if deg > 4:
+        raise ConfigurationError(
+            f"closed_form_real_roots handles degree <= 4, got degree {deg}; "
+            "use isolated_real_roots for higher degrees"
+        )
+    roots = np.zeros((n, deg))
+    valid = np.zeros((n, deg), dtype=bool)
+    if deg == 0 or n == 0:
+        return roots, valid
+
+    eff = _effective_degrees(coeffs, lead_tol)
+
+    # Hot-path shortcut: every row at full degree (the common case for
+    # generic batches) skips the per-degree gather/scatter round trip.
+    if deg == 4 and np.all(eff == 4):
+        r, v = _roots_quartic(coeffs)
+        r = _polish(coeffs, r, v, steps=polish_steps)
+        return r, v
+
+    rows = eff == 1
+    if np.any(rows):
+        roots[rows, 0] = -coeffs[rows, 0] / coeffs[rows, 1]
+        valid[rows, 0] = True
+    if deg >= 2:
+        rows = eff == 2
+        if np.any(rows):
+            r, v = _roots_quadratic(
+                coeffs[rows, 2], coeffs[rows, 1], coeffs[rows, 0]
+            )
+            r = _polish(coeffs[rows, :3], r, v, steps=polish_steps)
+            roots[rows, :2] = r
+            valid[rows, :2] = v
+    if deg >= 3:
+        rows = eff == 3
+        if np.any(rows):
+            r, v = _roots_cubic(coeffs[rows, :4])
+            r = _polish(coeffs[rows, :4], r, v, steps=polish_steps)
+            roots[rows, :3] = r
+            valid[rows, :3] = v
+    if deg == 4:
+        rows = eff == 4
+        if np.any(rows):
+            r, v = _roots_quartic(coeffs[rows, :5])
+            r = _polish(coeffs[rows, :5], r, v, steps=polish_steps)
+            roots[rows, :4] = r
+            valid[rows, :4] = v
+    return roots, valid
+
+
+def _bracketed_newton(
+    coeffs: np.ndarray,
+    dcoeffs: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    fa: np.ndarray,
+    fb: np.ndarray,
+    active: np.ndarray,
+    max_iter: int = _ISOLATE_MAX_ITER,
+    width_tol: float = 1e-12,
+) -> np.ndarray:
+    """Pin one sign-crossing root per active slot of ``[a, b]`` brackets.
+
+    Newton from a secant start, rejected back to bisection whenever
+    the step leaves the bracket or the derivative vanishes.  Slots
+    freeze individually on convergence and are *compacted out* of the
+    working set, so the per-iteration cost tracks the stragglers
+    instead of re-evaluating every slot until the last one converges.
+    A slot's iterates depend only on its own bracket and coefficients,
+    so the compaction keeps results batch-split invariant.
+    """
+    out = 0.5 * (a + b)
+    rows, cols = np.nonzero(active)
+    if rows.size == 0:
+        return out
+    k = a.shape[1]
+    ca = np.ascontiguousarray(coeffs[rows])
+    da = np.ascontiguousarray(dcoeffs[rows])
+    av = a[rows, cols]
+    bv = b[rows, cols]
+    fav = fa[rows, cols]
+    sign_a = fav > 0.0
+    fbv = fb[rows, cols]
+    # Secant (false-position) start: fa and fb are already evaluated,
+    # and the chord typically lands far closer to the root than the
+    # midpoint, saving full-width Newton iterations on every slot.
+    denom = fbv - fav
+    ok = denom != 0.0
+    x = np.where(
+        ok,
+        (av * fbv - bv * fav) / np.where(ok, denom, 1.0),
+        0.5 * (av + bv),
+    )
+    x = np.where((x > av) & (x < bv), x, 0.5 * (av + bv))
+    flat = rows * k + cols
+    out_flat = out.reshape(-1)
+    m = ca.shape[1]
+    # Per-slot stop width, fixed from the *initial* bracket scale —
+    # brackets only shrink, so this is a conservative (slightly early)
+    # stop that saves two reductions per iteration.
+    tol_v = width_tol * np.maximum(1.0, np.maximum(np.abs(av), np.abs(bv)))
+    # Residual stop: |f(x)| at 1e-12 of the endpoint values means
+    # Newton has converged (s-error ~ |f|/|f'|).  Without it, a root
+    # that lands exactly on a bracket endpoint strands the slot:
+    # every later Newton estimate falls ~1 ulp outside the bracket,
+    # is rejected, and the slot bisects all the way to the width stop.
+    res_tol = 1e-12 * np.maximum(np.abs(fav), np.abs(fbv))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for _ in range(max_iter):
+            # Inlined Horner (f and f'): the straggler tail runs on
+            # short arrays where `horner_pointwise`'s validation
+            # overhead costs more than the arithmetic.
+            f = ca[:, -1].copy()
+            for j in range(m - 2, -1, -1):
+                f *= x
+                f += ca[:, j]
+            df = da[:, -1].copy()
+            for j in range(m - 3, -1, -1):
+                df *= x
+                df += da[:, j]
+            # An exact zero (f == 0) lands on the ~same side as the b
+            # end: the root sits on the new bracket boundary and the
+            # bracket collapses onto it within a few iterations.
+            conv = np.abs(f) <= res_tol
+            same = (f > 0.0) == sign_a
+            av = np.where(same, x, av)
+            bv = np.where(same, bv, x)
+            xn = x - f / df
+            inside = (xn > av) & (xn < bv)  # NaN/inf -> False -> bisect
+            x_next = np.where(inside, xn, 0.5 * (av + bv))
+            frozen = conv | ((bv - av) <= tol_v) | (x_next == x)
+            # Residual-frozen slots keep the x whose |f| passed the
+            # test; everything else advances.
+            x = np.where(conv, x, x_next)
+            if frozen.any():
+                out_flat[flat[frozen]] = x[frozen]
+                live = ~frozen
+                if not live.any():
+                    return out
+                ca = np.ascontiguousarray(ca[live])
+                da = np.ascontiguousarray(da[live])
+                av = av[live]
+                bv = bv[live]
+                sign_a = sign_a[live]
+                x = x[live]
+                flat = flat[live]
+                tol_v = tol_v[live]
+                res_tol = res_tol[live]
+    out_flat[flat] = x  # iteration cap: best bracketed estimate
+    return out
+
+
+def isolated_real_roots(
+    coeffs: np.ndarray,
+    lo: float = 0.0,
+    hi: float = 1.0,
+    lead_tol: float = DEFAULT_LEAD_TOL,
+    polish_steps: int = 2,
+    width_tol: float = 1e-12,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sign-crossing real roots of ``n`` polynomials inside ``[lo, hi]``.
+
+    Recursive monotone-interval isolation: the crossing roots of the
+    derivative (one degree lower — recursion bottoms out in the
+    closed forms at degree <= 4) partition ``[lo, hi]`` into pieces on
+    which the polynomial is monotone; each sign change over a piece
+    brackets exactly one root, pinned by safeguarded Newton/bisection.
+
+    Only odd-multiplicity (sign-crossing) roots are reported — exactly
+    the candidates that matter when the polynomial is a derivative
+    being scanned for strict extrema.
+
+    Returns
+    -------
+    (roots, valid) with roots of shape ``(n, deg)``.
+    """
+    coeffs = np.atleast_2d(np.asarray(coeffs, dtype=float))
+    n, m = coeffs.shape
+    deg = m - 1
+    if deg <= 4:
+        roots, valid = closed_form_real_roots(
+            coeffs, lead_tol=lead_tol, polish_steps=polish_steps
+        )
+        if roots.shape[1]:
+            clipped = np.clip(roots, lo, hi)
+            span_tol = 1e-12 * max(abs(lo), abs(hi), 1.0)
+            valid = valid & (np.abs(clipped - roots) <= span_tol)
+            roots = np.where(valid, clipped, roots)
+        return roots, valid
+
+    # Critical points only *partition* [lo, hi] into monotone pieces —
+    # a slightly misplaced partition point still brackets every
+    # sign-crossing root — so their closed forms skip the Newton
+    # polish that the final answer gets.
+    dcoeffs = coeffs[:, 1:] * np.arange(1.0, m)
+    crit, cvalid = isolated_real_roots(
+        dcoeffs, lo, hi, lead_tol=lead_tol, polish_steps=0,
+        width_tol=width_tol,
+    )
+
+    # Partition points: endpoints plus in-interval critical points
+    # (invalid slots parked at hi so sorting pushes them into
+    # zero-width intervals that can never register a crossing).
+    pts = np.concatenate(
+        [
+            np.full((n, 1), lo),
+            np.where(cvalid, crit, hi),
+            np.full((n, 1), hi),
+        ],
+        axis=1,
+    )
+    pts.sort(axis=1)
+    vals = horner_batch(coeffs, pts)
+    a = pts[:, :-1]
+    b = pts[:, 1:]
+    fa = vals[:, :-1]
+    fb = vals[:, 1:]
+    za = fa == 0.0
+    zb = fb == 0.0
+    cross = ((fa > 0.0) != (fb > 0.0)) & ~za & ~zb & (b > a)
+
+    roots = np.where(zb, b, np.where(za, a, 0.0))
+    valid = za | zb | cross
+    if np.any(cross):
+        x = _bracketed_newton(
+            coeffs, dcoeffs, a, b, fa, fb, cross, width_tol=width_tol
+        )
+        roots = np.where(cross, x, roots)
+
+    # Pad/truncate to the (n, deg) slot convention.  The partition has
+    # deg + 1 slots but at most deg real roots; keep the first deg.
+    if roots.shape[1] > deg:
+        order = np.argsort(~valid, axis=1, kind="stable")
+        take = np.take_along_axis
+        roots = take(roots, order, axis=1)[:, :deg]
+        valid = take(valid, order, axis=1)[:, :deg]
+    return roots, valid
+
+
+def closed_form_stationary_roots(
+    deriv: np.ndarray,
+    lo: float = 0.0,
+    hi: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Drop-in ``root_solver`` for ``batched_minimize_on_interval``.
+
+    Matches the ``(roots, valid, fallback)`` convention of
+    :func:`repro.linalg.polyroots.batched_real_roots` so the shared
+    minimiser applies identical clipping, Newton polish and argmin
+    regardless of which solver produced the stationary candidates.
+    Degree <= 4 rows get every real root (closed form); higher degrees
+    get the sign-crossing roots in ``[lo, hi]``, which is sufficient
+    for the downstream minimisation.
+    """
+    deriv = np.atleast_2d(np.asarray(deriv, dtype=float))
+    n, m = deriv.shape
+    if m == 0:
+        raise ConfigurationError("empty coefficient matrix")
+    # ``lo``/``hi`` may be scalars or per-row arrays (the minimiser's
+    # convention); isolation needs one envelope interval, parking needs
+    # the per-row floor.  Roots found in the envelope but outside a
+    # row's own interval are discarded by the shared boundary filter.
+    lo_rows = np.broadcast_to(np.asarray(lo, dtype=float).ravel(), (n,))
+    hi_rows = np.broadcast_to(np.asarray(hi, dtype=float).ravel(), (n,))
+    nz_cols = np.nonzero(np.any(deriv != 0.0, axis=0))[0]
+    if nz_cols.size == 0 or nz_cols[-1] == 0:
+        return (
+            np.zeros((n, 0)),
+            np.zeros((n, 0), dtype=bool),
+            np.zeros(n, dtype=bool),
+        )
+    deriv = deriv[:, : nz_cols[-1] + 1]
+    if deriv.shape[1] - 1 <= 4:
+        roots, valid = closed_form_real_roots(deriv)
+    else:
+        # Bisection stragglers (Newton-resistant near-multiple roots)
+        # stop at a coarse bracket: the shared minimiser's three Newton
+        # polish steps drive simple roots from 1e-7 to machine epsilon,
+        # and the Newton-resistant slots are distance-tied basins where
+        # the agreement contract already tolerates the residual.
+        roots, valid = isolated_real_roots(
+            deriv, float(lo_rows.min()), float(hi_rows.max()),
+            width_tol=1e-7,
+        )
+    # Park invalid slots on lo, mirroring the reference path's
+    # np.where(valid, clipped, lo) so downstream clipping is a no-op.
+    roots = np.where(valid, roots, lo_rows[:, np.newaxis])
+    return roots, valid, np.zeros(n, dtype=bool)

@@ -12,6 +12,11 @@ arithmetic (and therefore the scores) cannot drift between paths.
 
 Coefficients are ascending throughout: ``coeffs[i, j]`` multiplies
 ``s**j`` in polynomial ``i``.
+
+Both kernels are dtype-preserving for the opt-in float32 scoring mode:
+float32 coefficients stay float32 (evaluation points are cast to the
+coefficient dtype), everything else is promoted to float64 exactly as
+before — the float64 path is byte-identical to the historical kernels.
 """
 
 from __future__ import annotations
@@ -19,6 +24,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.exceptions import ConfigurationError
+
+
+def work_coeffs(coeffs: np.ndarray) -> np.ndarray:
+    """Coefficients as a 2-D work array: float32 kept, else float64."""
+    coeffs = np.atleast_2d(np.asarray(coeffs))
+    if coeffs.dtype != np.float32:
+        coeffs = coeffs.astype(float, copy=False)
+    return coeffs
 
 
 def horner_batch(coeffs: np.ndarray, x: np.ndarray) -> np.ndarray:
@@ -38,8 +51,10 @@ def horner_batch(coeffs: np.ndarray, x: np.ndarray) -> np.ndarray:
     -------
     Values of shape ``(n, p)``.
     """
-    coeffs = np.atleast_2d(np.asarray(coeffs, dtype=float))
-    x = np.asarray(x, dtype=float)
+    coeffs = work_coeffs(coeffs)
+    x = np.asarray(x)
+    if x.dtype != coeffs.dtype:
+        x = x.astype(coeffs.dtype)
     if x.ndim == 1:
         x = np.broadcast_to(x, (coeffs.shape[0], x.size))
     elif x.ndim != 2 or x.shape[0] != coeffs.shape[0]:
@@ -47,7 +62,7 @@ def horner_batch(coeffs: np.ndarray, x: np.ndarray) -> np.ndarray:
             f"x must be 1-D (shared grid) or ({coeffs.shape[0]}, p), "
             f"got shape {x.shape}"
         )
-    result = np.broadcast_to(coeffs[:, -1:], x.shape).astype(float, copy=True)
+    result = np.broadcast_to(coeffs[:, -1:], x.shape).astype(coeffs.dtype, copy=True)
     for j in range(coeffs.shape[1] - 2, -1, -1):
         result *= x
         result += coeffs[:, j : j + 1]
@@ -61,8 +76,10 @@ def horner_pointwise(coeffs: np.ndarray, s: np.ndarray) -> np.ndarray:
     stays 1-D, so each iteration is ``deg`` in-place multiply-adds over
     one ``(n,)`` work vector with no 2-D temporaries.
     """
-    coeffs = np.atleast_2d(np.asarray(coeffs, dtype=float))
-    s = np.asarray(s, dtype=float).ravel()
+    coeffs = work_coeffs(coeffs)
+    s = np.asarray(s).ravel()
+    if s.dtype != coeffs.dtype:
+        s = s.astype(coeffs.dtype)
     if s.size != coeffs.shape[0]:
         raise ConfigurationError(
             f"s has {s.size} entries for {coeffs.shape[0]} polynomials"

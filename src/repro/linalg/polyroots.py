@@ -35,6 +35,7 @@ from repro.linalg.horner import horner_batch
 def real_roots(
     coeffs: np.ndarray,
     imag_tol: float = 1e-9,
+    lead_tol: float = 1e-12,
 ) -> np.ndarray:
     """Real roots of a polynomial given *ascending-power* coefficients.
 
@@ -47,6 +48,15 @@ def real_roots(
     imag_tol:
         Roots whose imaginary part is below this threshold (in absolute
         value) are treated as real.
+    lead_tol:
+        Relative deflation threshold: a leading coefficient whose
+        magnitude is at most ``lead_tol * max|coeffs|`` is treated as
+        zero and the polynomial as one degree lower.  The companion
+        matrix divides every other coefficient by the leading one, so a
+        quartic whose top coefficient underflowed to ~1e-18 of its
+        cubic term would otherwise produce one enormous spurious root
+        and three garbage ones instead of the cubic's actual roots.
+        ``0`` disables deflation (exact-zero trimming still applies).
 
     Returns
     -------
@@ -62,6 +72,11 @@ def real_roots(
         # as "no informative root".
         return np.empty(0)
     coeffs = coeffs[: nz[-1] + 1]
+    # Relative deflation of near-degenerate leading coefficients.
+    if lead_tol > 0.0 and coeffs.size > 1:
+        scale = np.max(np.abs(coeffs))
+        while coeffs.size > 1 and abs(coeffs[-1]) <= lead_tol * scale:
+            coeffs = coeffs[:-1]
     if coeffs.size == 1:
         return np.empty(0)  # Non-zero constant: no roots.
     # numpy.roots wants descending powers.
@@ -169,7 +184,11 @@ def batched_real_roots(
     All rows are trimmed to the common effective degree (the highest
     power with a non-zero coefficient in *any* row).  Rows whose own
     leading coefficient is degenerate relative to their magnitude are
-    flagged for a scalar fallback instead of poisoning the batch.
+    **deflated**: a near-cubic quartic (top coefficient underflowed to
+    ``~lead_tol`` of the row's largest) is solved as the cubic it really
+    is, through a smaller stacked companion batch grouped by effective
+    degree, instead of building a companion matrix poisoned by the
+    division by a vanishing leading coefficient.
 
     Parameters
     ----------
@@ -178,17 +197,19 @@ def batched_real_roots(
     imag_tol:
         Eigenvalues with ``|imag| <= imag_tol`` count as real roots.
     lead_tol:
-        Row ``i`` is degenerate when ``|lead_i| <= lead_tol * max_j
-        |coeffs[i, j]|`` — its companion matrix would be dominated by
-        the division by a vanishing leading coefficient.
+        Coefficient ``coeffs[i, j]`` is negligible when ``|coeffs[i, j]|
+        <= lead_tol * max_j |coeffs[i, j]|``; the row's effective degree
+        is its highest non-negligible power.
 
     Returns
     -------
     (roots, valid, fallback):
         ``roots`` of shape ``(n, deg)`` (junk where invalid), a boolean
         ``valid`` mask of the same shape marking genuine real roots, and
-        a boolean ``fallback`` mask of shape ``(n,)`` marking degenerate
-        rows the caller must re-solve with the scalar path.
+        a boolean ``fallback`` mask of shape ``(n,)``.  The fallback
+        mask is now always ``False`` — degenerate rows are deflated in
+        batch rather than handed back for a scalar re-solve; the third
+        return survives for call-site compatibility.
     """
     coeffs = np.atleast_2d(np.asarray(coeffs, dtype=float))
     n, m = coeffs.shape
@@ -206,25 +227,40 @@ def batched_real_roots(
     coeffs = coeffs[:, : nz_cols[-1] + 1]
     deg = coeffs.shape[1] - 1
 
-    lead = coeffs[:, -1]
+    # Per-row effective degree: highest power whose coefficient is not
+    # negligible relative to the row's own magnitude.  -1 marks a row
+    # that is numerically the zero polynomial (no informative roots).
     scale = np.max(np.abs(coeffs), axis=1)
-    fallback = np.abs(lead) <= lead_tol * scale
-    good = ~fallback
+    notsmall = np.abs(coeffs) > lead_tol * scale[:, np.newaxis]
+    has_any = notsmall.any(axis=1)
+    eff = np.where(has_any, deg - np.argmax(notsmall[:, ::-1], axis=1), -1)
 
     roots = np.zeros((n, deg))
     valid = np.zeros((n, deg), dtype=bool)
-    if np.any(good):
-        monic = coeffs[good, :-1] / lead[good, np.newaxis]
+
+    def _solve_companions(rows: np.ndarray, d: int) -> None:
+        sub = coeffs[rows, : d + 1]
+        monic = sub[:, :-1] / sub[:, -1, np.newaxis]
         g = monic.shape[0]
-        comp = np.zeros((g, deg, deg))
-        idx = np.arange(deg - 1)
+        comp = np.zeros((g, d, d))
+        idx = np.arange(d - 1)
         comp[:, idx + 1, idx] = 1.0
         comp[:, :, -1] = -monic
-        eig = np.linalg.eigvals(comp)  # (g, deg), complex
-        real_mask = np.abs(eig.imag) <= imag_tol
-        roots[good] = eig.real
-        valid[good] = real_mask
-    return roots, valid, fallback
+        eig = np.linalg.eigvals(comp)  # (g, d), complex
+        roots[rows, :d] = eig.real
+        valid[rows, :d] = np.abs(eig.imag) <= imag_tol
+
+    full = eff == deg
+    if np.any(full):
+        _solve_companions(full, deg)
+    degenerate_degrees = np.unique(eff[(eff < deg) & (eff >= 1)])
+    for d in degenerate_degrees:
+        # Deflate: solve the row as the degree it effectively has,
+        # dropping the negligible top coefficients.  The tiny truncated
+        # terms perturb the true roots by O(lead_tol); callers polish
+        # with Newton steps on the full polynomial afterwards.
+        _solve_companions(eff == d, int(d))
+    return roots, valid, np.zeros(n, dtype=bool)
 
 
 def batched_minimize_on_interval(
@@ -234,15 +270,15 @@ def batched_minimize_on_interval(
     imag_tol: float = 1e-9,
     boundary_tol: float = 1e-12,
     newton_steps: int = 3,
+    root_solver=None,
 ) -> np.ndarray:
     """Row-wise global minimiser of ``n`` polynomials on ``[lo, hi]``.
 
     The batched counterpart of :func:`minimize_polynomial_on_interval`:
     stationary points come from one stacked companion-matrix eigenvalue
-    call, are polished by vectorised Newton steps, and the argmin per
-    row is taken over ``{lo, hi}`` plus the row's in-interval stationary
-    points.  Degenerate rows (vanishing leading derivative coefficient)
-    fall back to the scalar implementation transparently.
+    call (or a pluggable solver), are polished by vectorised Newton
+    steps, and the argmin per row is taken over ``{lo, hi}`` plus the
+    row's in-interval stationary points.
 
     Parameters
     ----------
@@ -256,6 +292,14 @@ def batched_minimize_on_interval(
         :func:`real_roots_in_interval`.
     newton_steps:
         Newton polishing iterations applied to the stationary points.
+    root_solver:
+        Optional replacement for :func:`batched_real_roots`, called as
+        ``root_solver(deriv, lo, hi) -> (roots, valid, fallback)`` with
+        the same return convention.  This keeps candidate clipping,
+        Newton polish and the final argmin byte-for-byte shared between
+        the eigvals reference and alternative backends (e.g. the
+        closed-form solver in :mod:`repro.linalg.closedform`), so
+        backend agreement is structural rather than accidental.
 
     Returns
     -------
@@ -266,7 +310,10 @@ def batched_minimize_on_interval(
     powers = np.arange(1, m)
     deriv = coeffs[:, 1:] * powers[np.newaxis, :] if m > 1 else np.zeros((n, 1))
 
-    roots, valid, fallback = batched_real_roots(deriv, imag_tol=imag_tol)
+    if root_solver is None:
+        roots, valid, fallback = batched_real_roots(deriv, imag_tol=imag_tol)
+    else:
+        roots, valid, fallback = root_solver(deriv, lo, hi)
 
     out = np.empty(n)
     if roots.shape[1] == 0:

@@ -70,6 +70,7 @@ from repro.core.exceptions import (
     NotFittedError,
 )
 from repro.core.scoring import build_ranking_list
+from repro.linalg.backend import resolve_backend, resolve_score_dtype
 from repro.obs import engineprof
 from repro.obs.engineprof import EngineProfile
 from repro.obs.histogram import BATCH_FILL_BUCKETS, LATENCY_BUCKET_BOUNDS
@@ -225,6 +226,8 @@ class ScoringHTTPServer(ThreadingHTTPServer):
         metrics_reader: Optional[SharedMetricsStore] = None,
         keepalive_timeout: float = 30.0,
         listen_backlog: int = 128,
+        backend=None,
+        score_dtype: Optional[str] = None,
         tracer: Optional[Tracer] = None,
     ):
         # Fail fast on misconfiguration: a daemon that boots "healthy"
@@ -233,6 +236,15 @@ class ScoringHTTPServer(ThreadingHTTPServer):
         _validate_chunk_size(chunk_size)
         _validate_n_jobs(n_jobs)
         _validate_keepalive_timeout(keepalive_timeout)
+        # Resolve the kernel backend and scoring dtype at boot: an
+        # unknown backend name (or a numba request without numba
+        # installed) must fail the boot, not 500 the first request.
+        self.backend = (
+            None if backend is None else resolve_backend(backend)
+        )
+        self.score_dtype = (
+            None if score_dtype is None else resolve_score_dtype(score_dtype)
+        )
         if int(listen_backlog) < 1:
             raise ConfigurationError(
                 f"listen_backlog must be >= 1, got {listen_backlog}"
@@ -291,7 +303,12 @@ class ScoringHTTPServer(ThreadingHTTPServer):
     ) -> MicroBatcher:
         return MicroBatcher(
             lambda model, X: score_batch(
-                model, X, chunk_size=self.chunk_size, n_jobs=self.n_jobs
+                model,
+                X,
+                chunk_size=self.chunk_size,
+                n_jobs=self.n_jobs,
+                backend=self.backend,
+                dtype=self.score_dtype,
             ),
             window=window,
             policy=policy,
@@ -360,6 +377,22 @@ class ScoringHTTPServer(ThreadingHTTPServer):
         return applied
 
     @property
+    def backend_name(self) -> str:
+        """Canonical name of the active kernel backend.
+
+        ``None`` (no explicit choice) means every request scores
+        through the library-default numpy reference backend.
+        """
+        return "numpy" if self.backend is None else self.backend.name
+
+    @property
+    def score_dtype_name(self) -> str:
+        """Canonical name of the scoring work dtype (``float64``
+        unless the operator opted into ``float32``)."""
+        dtype = self.score_dtype
+        return "float64" if dtype is None else np.dtype(dtype).name
+
+    @property
     def is_draining(self) -> bool:
         return self._draining.is_set()
 
@@ -416,7 +449,12 @@ class ScoringHTTPServer(ThreadingHTTPServer):
         try:
             with engineprof.activate(profile):
                 return score_batch(
-                    model, X, chunk_size=self.chunk_size, n_jobs=self.n_jobs
+                    model,
+                    X,
+                    chunk_size=self.chunk_size,
+                    n_jobs=self.n_jobs,
+                    backend=self.backend,
+                    dtype=self.score_dtype,
                 )
         finally:
             if trace.enabled:
@@ -587,7 +625,10 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
         """Solver telemetry — fleet-wide when a shared store exists."""
         reader = self.server.metrics_reader
         if reader is None:
-            return self.server.metrics.engine_snapshot()
+            out = self.server.metrics.engine_snapshot()
+            out["backend"] = self.server.backend_name
+            out["score_dtype"] = self.server.score_dtype_name
+            return out
         cells = reader.merged_engine()
         out = {
             key: (
@@ -600,6 +641,8 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
         misses = cells.get("warm_start_misses", 0)
         if hits or misses:
             out["warm_start_hit_rate"] = round(hits / (hits + misses), 4)
+        out["backend"] = self.server.backend_name
+        out["score_dtype"] = self.server.score_dtype_name
         return out
 
     def _wants_prometheus(self) -> bool:
@@ -631,7 +674,15 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
         return 200, {"trace": payload}, 0
 
     def _get_models(self) -> Tuple[int, dict, int]:
-        return 200, {"models": self.server.registry.describe()}, 0
+        # Every model is served through the same daemon-wide backend
+        # and scoring dtype (chosen at boot), so the per-entry keys are
+        # uniform — they exist so clients scoring against one model do
+        # not need a second round-trip to /metrics to learn them.
+        models = self.server.registry.describe()
+        for entry in models:
+            entry["backend"] = self.server.backend_name
+            entry["score_dtype"] = self.server.score_dtype_name
+        return 200, {"models": models}, 0
 
     def _post_model(self, name: str, action: str) -> Tuple[int, dict, int]:
         # Admission control runs before the body is even read: a shed
@@ -1034,6 +1085,21 @@ def _prometheus_exposition(server: ScoringHTTPServer) -> str:
         family = MetricFamily(name, "counter", help_text)
         family.add_sample(float(engine.get(key, 0)))
         families.append(family)
+
+    engine_info = MetricFamily(
+        "repro_engine_info",
+        "gauge",
+        "Constant 1; labels carry the active kernel backend and "
+        "scoring work dtype of this daemon.",
+    )
+    engine_info.add_sample(
+        1.0,
+        {
+            "backend": server.backend_name,
+            "dtype": server.score_dtype_name,
+        },
+    )
+    families.append(engine_info)
 
     fill = MetricFamily(
         "repro_batch_fill_requests",

@@ -51,6 +51,7 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.exceptions import ConfigurationError
+from repro.linalg.backend import resolve_backend, resolve_score_dtype
 from repro.obs.accesslog import AccessLog
 from repro.obs.trace import (
     DEFAULT_SAMPLE_EVERY,
@@ -111,6 +112,8 @@ class WorkerPool:
         trace_sample: int = DEFAULT_SAMPLE_EVERY,
         trace_buffer: int = DEFAULT_TRACE_BUFFER,
         access_log: Optional[str] = None,
+        backend=None,
+        score_dtype: Optional[str] = None,
     ):
         if int(workers) < 1:
             raise ConfigurationError(
@@ -158,6 +161,14 @@ class WorkerPool:
             raise ConfigurationError(
                 f"--trace-buffer must be >= 1, got {trace_buffer}"
             )
+        # Validate in the parent so a bad backend name (or a numba
+        # request without numba) fails the boot, not a worker fleet.
+        # Workers re-resolve from the *spec* after the fork: backend
+        # singletons hold JIT state that must not cross fork().
+        if backend is not None:
+            resolve_backend(backend)
+        if score_dtype is not None:
+            resolve_score_dtype(score_dtype)
         self.model_specs = list(model_specs)
         self.host = host
         self.port = int(port)
@@ -179,6 +190,8 @@ class WorkerPool:
         self.trace_sample = int(trace_sample)
         self.trace_buffer = int(trace_buffer)
         self.access_log = access_log
+        self.backend = backend
+        self.score_dtype = score_dtype
         self._socket: Optional[socket.socket] = None
         self._metrics_dir: Optional[str] = None
         self._pids: Dict[int, int] = {}  # pid -> slot
@@ -405,6 +418,8 @@ class WorkerPool:
                 listen_socket=self._socket,
                 metrics_reader=store,
                 keepalive_timeout=self.keepalive_timeout,
+                backend=self.backend,
+                score_dtype=self.score_dtype,
                 tracer=tracer,
             )
             server.worker_slot = slot

@@ -85,6 +85,8 @@ def iter_score_chunks(
     model: RankingPrincipalCurve,
     X: np.ndarray,
     chunk_size: Optional[int] = None,
+    backend=None,
+    dtype=None,
 ) -> Iterator[Tuple[int, int, np.ndarray]]:
     """Yield ``(start, stop, scores)`` triples over chunks of ``X``.
 
@@ -99,6 +101,10 @@ def iter_score_chunks(
         ``score_samples``.
     chunk_size:
         Rows per chunk; ``None`` uses :data:`DEFAULT_CHUNK_SIZE`.
+    backend, dtype:
+        Optional kernel backend and scoring work dtype, resolved and
+        validated up front (before any chunk is scored) and applied to
+        every chunk; see :mod:`repro.linalg.backend`.
 
     Yields
     ------
@@ -106,6 +112,7 @@ def iter_score_chunks(
     covering rows ``X[start:stop]``, in order.
     """
     chunk_size = _validate_chunk_size(chunk_size)
+    backend, dtype = _resolve_backend_dtype(backend, dtype)
     X = np.asarray(X, dtype=float)
     if X.ndim != 2:
         raise ConfigurationError(
@@ -113,7 +120,25 @@ def iter_score_chunks(
         )
     for start in range(0, X.shape[0], chunk_size):
         stop = min(start + chunk_size, X.shape[0])
-        yield start, stop, model.score_samples(X[start:stop])
+        yield start, stop, model.score_samples(
+            X[start:stop], backend=backend, dtype=dtype
+        )
+
+
+def _resolve_backend_dtype(backend, dtype):
+    """Validate backend/dtype specs once, up front; keep None as None.
+
+    ``None`` stays ``None`` (rather than eagerly becoming the default
+    backend instance) so downstream layers can distinguish "caller
+    didn't ask" from an explicit choice.
+    """
+    from repro.linalg.backend import resolve_backend, resolve_score_dtype
+
+    if backend is not None:
+        backend = resolve_backend(backend)
+    if dtype is not None:
+        dtype = resolve_score_dtype(dtype)
+    return backend, dtype
 
 
 def score_batch(
@@ -121,6 +146,8 @@ def score_batch(
     X: np.ndarray,
     chunk_size: Optional[int] = None,
     n_jobs: Optional[int] = None,
+    backend=None,
+    dtype=None,
 ) -> np.ndarray:
     """Score every row of ``X`` with bounded peak memory.
 
@@ -142,6 +169,12 @@ def score_batch(
         regardless of ``n_jobs`` — chunk boundaries do not move, each
         worker writes a disjoint slice of the output, and the per-chunk
         arithmetic is untouched.
+    backend:
+        Optional projection kernel backend for every chunk (name or
+        instance; ``None`` = numpy reference).
+    dtype:
+        Optional ``"float32"`` opt-in for the solver work vectors.
+        Output scores are float64 regardless.
     """
     X = np.asarray(X, dtype=float)
     if X.ndim != 2:
@@ -149,9 +182,12 @@ def score_batch(
             f"X must be 2-D (objects x attributes), got ndim={X.ndim}"
         )
     n_jobs = _validate_n_jobs(n_jobs)
+    backend, dtype = _resolve_backend_dtype(backend, dtype)
     out = np.empty(X.shape[0])
     if n_jobs == 1:
-        for start, stop, scores in iter_score_chunks(model, X, chunk_size):
+        for start, stop, scores in iter_score_chunks(
+            model, X, chunk_size, backend=backend, dtype=dtype
+        ):
             out[start:stop] = scores
         return out
 
@@ -173,10 +209,14 @@ def score_batch(
     def _score_span(span: Tuple[int, int]) -> None:
         start, stop = span
         if profile is None:
-            out[start:stop] = model.score_samples(X[start:stop])
+            out[start:stop] = model.score_samples(
+                X[start:stop], backend=backend, dtype=dtype
+            )
         else:
             with engineprof.activate(profile):
-                out[start:stop] = model.score_samples(X[start:stop])
+                out[start:stop] = model.score_samples(
+                    X[start:stop], backend=backend, dtype=dtype
+                )
 
     with ThreadPoolExecutor(
         max_workers=min(n_jobs, len(spans))

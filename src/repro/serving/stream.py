@@ -187,6 +187,8 @@ def iter_stream_scores(
     label_column: Optional[str] = None,
     delimiter: str = ",",
     n_jobs: Optional[int] = None,
+    backend=None,
+    dtype=None,
 ) -> Iterator[Tuple[List[str], np.ndarray]]:
     """Yield ``(labels, scores)`` per buffered chunk of a CSV, in order.
 
@@ -226,7 +228,8 @@ def iter_stream_scores(
                 f"{path} provides {chunk.X.shape[1]}"
             )
         yield chunk.labels, score_batch(
-            model, chunk.X, chunk_size=chunk_size, n_jobs=n_jobs
+            model, chunk.X, chunk_size=chunk_size, n_jobs=n_jobs,
+            backend=backend, dtype=dtype,
         )
 
 
@@ -238,6 +241,8 @@ def stream_score_csv(
     label_column: Optional[str] = None,
     delimiter: str = ",",
     n_jobs: Optional[int] = None,
+    backend=None,
+    dtype=None,
 ) -> int:
     """Score ``csv_path`` end to end, writing ``label,score`` rows.
 
@@ -261,6 +266,8 @@ def stream_score_csv(
             label_column=label_column,
             delimiter=delimiter,
             n_jobs=n_jobs,
+            backend=backend,
+            dtype=dtype,
         ):
             for label, score in zip(labels, scores):
                 writer.writerow([label, repr(float(score))])
@@ -276,6 +283,8 @@ def stream_rank_topk(
     label_column: Optional[str] = None,
     delimiter: str = ",",
     n_jobs: Optional[int] = None,
+    backend=None,
+    dtype=None,
 ) -> Tuple[List[Tuple[str, float]], int]:
     """Best-``k`` objects of a streamed CSV via a bounded min-heap.
 
@@ -331,6 +340,8 @@ def stream_rank_topk(
         label_column=label_column,
         delimiter=delimiter,
         n_jobs=n_jobs,
+        backend=backend,
+        dtype=dtype,
     ):
         if k == 0:
             # Nothing to keep, but the stream is still drained so the
@@ -358,6 +369,8 @@ def stream_rank_csv(
     label_column: Optional[str] = None,
     delimiter: str = ",",
     n_jobs: Optional[int] = None,
+    backend=None,
+    dtype=None,
     memory_budget_rows: Optional[int] = None,
     max_open_runs: Optional[int] = None,
     tmp_dir: Optional[str | pathlib.Path] = None,
@@ -390,6 +403,9 @@ def stream_rank_csv(
         the returned ``head`` is wanted).
     chunk_size, label_column, delimiter, n_jobs:
         As in :func:`iter_stream_scores`.
+    backend, dtype:
+        Optional projection kernel backend / float32 scoring opt-in,
+        as in :func:`repro.serving.batch.score_batch`.
     memory_budget_rows, max_open_runs, tmp_dir:
         External-sort knobs, see
         :class:`~repro.serving.extsort.ExternalSorter`.  Run files are
@@ -423,6 +439,8 @@ def stream_rank_csv(
             label_column=label_column,
             delimiter=delimiter,
             n_jobs=n_jobs,
+            backend=backend,
+            dtype=dtype,
         ):
             sorter.add(labels, scores)
         n_rows = sorter.n_rows

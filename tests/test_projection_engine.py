@@ -36,6 +36,11 @@ from repro.geometry.engine import (
     curve_self_product_coefficients,
     squared_distance_coefficients,
 )
+from repro.linalg.backend import (
+    available_backend_names,
+    numba_available,
+    resolve_backend,
+)
 from repro.linalg.golden_section import golden_section_search_batch
 from repro.linalg.horner import horner_batch, horner_pointwise
 
@@ -48,6 +53,18 @@ DIST_ATOL = 1e-10
 
 DEGREES = (3, 4, 5, 6, 7)
 SEEDS_PER_DEGREE = 6
+
+#: Every kernel backend importable in this environment ("numpy" and
+#: "closed-form" always; "numba" joins when the optional package is
+#: installed, e.g. in the CI native-backend job).
+BACKENDS = available_backend_names()
+
+#: float32 agreement contract: scores match to ~1e-3 unless two basins
+#: tie at float32 distance resolution, in which case either argmin is a
+#: correct answer (same tie convention as the float64 suite, at the
+#: precision the solver actually ran at).
+S_ATOL32 = 1e-3
+DIST_ATOL32 = 1e-2
 
 
 def _random_curve_and_points(degree: int, seed: int):
@@ -221,6 +238,91 @@ class TestSolverAgreementAcrossDegrees:
             project_points(curve, X, method="gss", engine=stale),
             project_points(curve, X, method="gss"),
         )
+
+
+class TestBackendDtypeAgreement:
+    """Every backend x dtype combination against the default path.
+
+    float64 runs must agree with the numpy/float64 reference to the
+    repo-wide 1e-8/1e-10 contract (in practice exactly: the backends
+    share the clip/boundary/Newton-polish semantics and differ only in
+    how stationary roots are found).  float32 runs are an opt-in speed
+    trade judged at float32 resolution.
+    """
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("method", ("gss", "roots"))
+    @pytest.mark.parametrize("degree", DEGREES)
+    def test_float64_agrees_with_reference(self, degree, method, backend):
+        curve, X = _random_curve_and_points(degree, seed=7)
+        ref = project_points(curve, X, method=method)
+        got = project_points(
+            curve, X, method=method, backend=backend, dtype="float64"
+        )
+        compiled = ProjectionEngine(curve).compile(X)
+        close = np.abs(got - ref) <= S_ATOL
+        tied = np.abs(
+            compiled.distance(got) - compiled.distance(ref)
+        ) <= DIST_ATOL
+        assert np.all(close | tied), (
+            f"degree {degree} method {method} backend {backend}"
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("method", ("gss", "roots"))
+    @pytest.mark.parametrize("degree", DEGREES)
+    def test_float32_within_tolerance(self, degree, method, backend):
+        curve, X = _random_curve_and_points(degree, seed=11)
+        ref = project_points(curve, X, method=method)
+        got = project_points(
+            curve, X, method=method, backend=backend, dtype="float32"
+        )
+        assert got.dtype == np.float64  # output contract: always float64
+        compiled = ProjectionEngine(curve).compile(X)
+        close = np.abs(got - ref) <= S_ATOL32
+        tied = np.abs(
+            compiled.distance(got) - compiled.distance(ref)
+        ) <= DIST_ATOL32
+        assert np.all(close | tied), (
+            f"degree {degree} method {method} backend {backend}"
+        )
+
+    @pytest.mark.parametrize("method", ("gss", "roots"))
+    @pytest.mark.parametrize("degree", DEGREES)
+    def test_explicit_numpy_float64_is_byte_identical(self, degree, method):
+        """Spelling out the defaults must not change a single bit."""
+        curve, X = _random_curve_and_points(degree, seed=13)
+        ref = project_points(curve, X, method=method)
+        got = project_points(
+            curve, X, method=method, backend="numpy", dtype="float64"
+        )
+        np.testing.assert_array_equal(got, ref)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("degree", DEGREES)
+    def test_batch_split_invariance(self, degree, backend):
+        """Chunk boundaries never move a score, whatever the backend.
+
+        The same byte-identity the serving layer pins for the default
+        path (chunked == unchunked), here for each backend: per-row
+        convergence is tracked per slot, so a row's solve cannot depend
+        on which other rows share its batch.
+        """
+        curve, X = _random_curve_and_points(degree, seed=17)
+        full = project_points(curve, X, method="roots", backend=backend)
+        split = np.concatenate([
+            project_points(curve, X[:7], method="roots", backend=backend),
+            project_points(curve, X[7:23], method="roots", backend=backend),
+            project_points(curve, X[23:], method="roots", backend=backend),
+        ])
+        np.testing.assert_array_equal(split, full)
+
+    @pytest.mark.skipif(
+        numba_available(), reason="numba installed; request succeeds"
+    )
+    def test_numba_request_without_numba_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="numba"):
+            resolve_backend("numba")
 
 
 class TestEdgeCases:
