@@ -1,18 +1,21 @@
 #!/usr/bin/env python
-"""Serve a fitted model over HTTP: fit → save → serve → query.
+"""Serve fitted models over HTTP: fit → save → serve → query.
 
 The full production workflow of the serving subsystem, in-process:
 
 1. fit a Ranking Principal Curve on the bundled country data and
-   persist it with :func:`repro.serving.save_model`;
-2. load it into a :class:`repro.server.ModelRegistry` and boot the
+   persist it with :func:`repro.serving.save_model`; fit an
+   elastic-map principal curve on the same data and persist it as a
+   manifest directory — two model *families* behind one API;
+2. load both into a :class:`repro.server.ModelRegistry` and boot the
    stdlib HTTP daemon (:class:`repro.server.ScoringHTTPServer`) on an
    ephemeral port — the same server that ``python -m repro serve``
    runs in the foreground;
 3. query every endpoint with nothing but :mod:`urllib`: health, the
-   registry listing, single-row and batch scoring, a ranking, and the
+   registry listing (now reporting each entry's family), single-row
+   and batch scoring against either family, a ranking, and the
    request metrics;
-4. overwrite the model file and watch hot reload pick it up — no
+4. overwrite a model file and watch hot reload pick it up — no
    restart.
 
 Run:  python examples/scoring_server.py
@@ -29,6 +32,7 @@ import warnings
 
 from repro import RankingPrincipalCurve
 from repro.data import COUNTRY_ATTRIBUTES, load_countries
+from repro.families import build_model
 from repro.server import ModelRegistry, ScoringHTTPServer
 from repro.serving import save_model
 
@@ -57,10 +61,24 @@ def main() -> None:
     save_model(model, model_path, feature_names=COUNTRY_ATTRIBUTES)
     print(f"saved fitted model to {model_path}")
 
+    # A second family on the same data: the elastic-map principal
+    # curve, persisted as a manifest directory (the layout for models
+    # with sharded array state — see docs/models.md).
+    elmap = build_model("elastic-map", alpha=data.alpha)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        elmap.fit(data.X)
+    elmap_path = save_model(
+        elmap, workdir / "elmap", feature_names=COUNTRY_ATTRIBUTES
+    )
+    print(f"saved elastic-map manifest to {elmap_path}")
+
     # 2. Boot the daemon on an ephemeral port.  Equivalent shell:
-    #    python -m repro serve --model wellbeing=wellbeing.json
+    #    python -m repro serve --model wellbeing=wellbeing.json \
+    #                          --model elmap=elmap
     registry = ModelRegistry()
     registry.register("wellbeing", model_path)
+    registry.register("elmap", elmap_path)
     server = ScoringHTTPServer(("127.0.0.1", 0), registry, n_jobs=2)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
@@ -70,9 +88,10 @@ def main() -> None:
 
     # 3. Query it like any other HTTP service.
     print("GET /healthz        ->", call(f"{base}/healthz"))
-    listing = call(f"{base}/v1/models")["models"][0]
-    print("GET /v1/models      ->", {k: listing[k] for k in
-                                     ("name", "format", "n_attributes")})
+    for listing in call(f"{base}/v1/models")["models"]:
+        print("GET /v1/models      ->", {k: listing[k] for k in
+                                         ("name", "family", "format",
+                                          "n_attributes")})
 
     row = data.X[0].tolist()
     single = call(f"{base}/v1/models/wellbeing/score", {"row": row})
@@ -85,6 +104,15 @@ def main() -> None:
     )
     print(f"POST score (batch)  -> {batch['n']} scores, "
           f"first={batch['scores'][0]:.4f}")
+
+    # Same endpoint shape, different family — only the model name in
+    # the URL changes.
+    elmap_batch = call(
+        f"{base}/v1/models/elmap/score",
+        {"rows": data.X[:50].tolist()},
+    )
+    print(f"POST score (elmap)  -> {elmap_batch['n']} scores, "
+          f"first={elmap_batch['scores'][0]:.4f}")
 
     ranked = call(
         f"{base}/v1/models/wellbeing/rank",

@@ -27,7 +27,8 @@ The ``rank`` command loads a headered CSV (first column = labels by
 default), fits a Ranking Principal Curve with the given attribute
 directions, prints the top of the ranking list and optionally writes
 the full list to a CSV.  ``save`` fits the same way but persists the
-fitted model (JSON or ``.npz`` by suffix) instead of discarding it;
+fitted model (JSON, ``.npz``, or a manifest directory) instead of
+discarding it — any registered model family (``--family``);
 ``score`` reloads such a model in a fresh process and scores new rows
 with chunked, bounded-memory batch projection — no refitting; with
 ``--stream`` the CSV (gzipped or plain) is read incrementally so
@@ -61,6 +62,7 @@ from repro.core.scoring import build_ranking_list
 from repro.data.loaders import load_csv, parse_alpha_spec, save_ranking_csv
 from repro.linalg.backend import BACKEND_CHOICES, SCORE_DTYPE_CHOICES
 from repro.serving.batch import score_batch
+from repro.families import build_model, family_names
 from repro.serving.persistence import check_model_path, load_model, save_model
 from repro.serving.stream import (
     iter_stream_scores,
@@ -125,7 +127,18 @@ def build_parser() -> argparse.ArgumentParser:
     save.add_argument(
         "--model",
         required=True,
-        help="destination model file (.json or .npz)",
+        help="destination: a .json or .npz file, or a manifest "
+        "directory (no suffix)",
+    )
+    save.add_argument(
+        "--family",
+        choices=family_names(),
+        default="rpc",
+        help="model family to fit (default 'rpc', the Bézier ranking "
+        "principal curve; other families use their default "
+        "hyperparameters and ignore --degree/--restarts/--seed/"
+        "--warm-start; 'pagerank' reads the CSV matrix as an "
+        "adjacency matrix)",
     )
     save.add_argument("--label-column", default=None)
     save.add_argument("--degree", type=int, default=3)
@@ -140,12 +153,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     load = sub.add_parser("load", help="inspect a saved model")
-    load.add_argument("model_path", help="model file written by 'save'")
+    load.add_argument(
+        "model_path",
+        help="model file or manifest directory written by 'save'",
+    )
 
     score = sub.add_parser(
         "score", help="score a CSV with a saved model (no refitting)"
     )
-    score.add_argument("model_path", help="model file written by 'save'")
+    score.add_argument(
+        "model_path",
+        help="model file or manifest directory written by 'save'",
+    )
     score.add_argument("csv_path", help="CSV of new objects to score")
     score.add_argument("--label-column", default=None)
     score.add_argument(
@@ -232,7 +251,8 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         metavar="NAME=PATH",
         dest="models",
-        help="serve the saved model at PATH under NAME (repeatable)",
+        help="serve the saved model (file or manifest directory) at "
+        "PATH under NAME (repeatable; families may be mixed)",
     )
     serve.add_argument(
         "--host", default="127.0.0.1", help="bind address (default local)"
@@ -461,23 +481,33 @@ def _run_save(args: argparse.Namespace) -> int:
     check_model_path(args.model)
     table = load_csv(args.csv_path, label_column=args.label_column)
     alpha = parse_alpha_spec(args.alpha, table.attribute_names)
-    model = RankingPrincipalCurve(
-        alpha=alpha,
-        degree=args.degree,
-        n_restarts=args.restarts,
-        random_state=args.seed,
-        warm_start=args.warm_start,
-    )
+    if args.family == "rpc":
+        # The Bézier family keeps its dedicated knobs; other families
+        # fit with their registered default hyperparameters.
+        model = RankingPrincipalCurve(
+            alpha=alpha,
+            degree=args.degree,
+            n_restarts=args.restarts,
+            random_state=args.seed,
+            warm_start=args.warm_start,
+        )
+    else:
+        model = build_model(args.family, alpha=alpha)
     with warnings.catch_warnings():
         warnings.simplefilter("ignore")
         model.fit(table.X)
     path = save_model(model, args.model, feature_names=table.attribute_names)
-    print(
-        f"fitted on {table.X.shape[0]} objects x "
-        f"{table.X.shape[1]} attributes "
-        f"(final objective {model.trace_.final_objective:.6f}, "
-        f"{model.trace_.n_iterations} iterations)"
+    summary = (
+        f"fitted {args.family} model on {table.X.shape[0]} objects x "
+        f"{table.X.shape[1]} attributes"
     )
+    trace = getattr(model, "trace_", None)
+    if trace is not None:
+        summary += (
+            f" (final objective {trace.final_objective:.6f}, "
+            f"{trace.n_iterations} iterations)"
+        )
+    print(summary)
     print(f"model written to {path}")
     return 0
 
@@ -485,21 +515,31 @@ def _run_save(args: argparse.Namespace) -> int:
 def _run_load(args: argparse.Namespace) -> int:
     model = load_model(args.model_path)
     print(f"model: {model!r}")
+    print(f"family: {getattr(model, 'family', type(model).__name__)}")
     if model.feature_names_ is not None:
         print(f"attributes: {', '.join(model.feature_names_)}")
     if not model.is_fitted:
         print("state: not fitted")
         return 0
-    trace = model.trace_
-    print(
-        f"state: fitted ({trace.n_iterations} iterations, "
-        f"final objective {trace.final_objective:.6f}, "
-        f"converged={trace.converged})"
-    )
-    print("control points (normalised coordinates):")
-    for r, column in enumerate(model.control_points_.T):
-        coords = ", ".join(f"{v:.4f}" for v in column)
-        print(f"  p{r} = ({coords})")
+    trace = getattr(model, "trace_", None)
+    if trace is not None:
+        print(
+            f"state: fitted ({trace.n_iterations} iterations, "
+            f"final objective {trace.final_objective:.6f}, "
+            f"converged={trace.converged})"
+        )
+    else:
+        n_attrs = model.n_attributes
+        print(
+            "state: fitted"
+            + (f" ({n_attrs} attributes)" if n_attrs is not None else "")
+        )
+    control_points = getattr(model, "control_points_", None)
+    if control_points is not None:
+        print("control points (normalised coordinates):")
+        for r, column in enumerate(control_points.T):
+            coords = ", ".join(f"{v:.4f}" for v in column)
+            print(f"  p{r} = ({coords})")
     return 0
 
 
@@ -600,9 +640,10 @@ def _run_score(args: argparse.Namespace) -> int:
             label_column=args.label_column,
             attribute_columns=model.feature_names_,
         )
-        if table.X.shape[1] != model.alpha.size:
+        expected = model.n_attributes
+        if expected is not None and table.X.shape[1] != expected:
             raise DataValidationError(
-                f"model expects {model.alpha.size} attributes but "
+                f"model expects {expected} attributes but "
                 f"{args.csv_path} provides {table.X.shape[1]}"
             )
         labels = table.labels

@@ -42,6 +42,12 @@ from repro.geometry.monotonicity import check_rpc_constraints
 class RankingPrincipalCurve:
     """Unsupervised ranking via a constrained cubic Bezier principal curve.
 
+    This class is the reference implementation of the
+    :class:`~repro.core.model_api.ScorableModel` contract (``family``
+    ``"rpc"``): the serving layers call only the protocol surface, so
+    the Bézier curve flows through them exactly like every adapted
+    family while keeping its engine-backed fast path.
+
     Parameters
     ----------
     alpha:
@@ -88,6 +94,17 @@ class RankingPrincipalCurve:
     >>> bool(np.all((scores >= 0) & (scores <= 1)))
     True
     """
+
+    #: ScorableModel identity: the family name persistence writes and
+    #: the daemon reports, and the version of the payload schema below.
+    family = "rpc"
+    format_version = 1
+    #: A row's score depends only on that row — chunking and
+    #: micro-batch coalescing are exact.
+    pointwise_scores = True
+    #: ``score_samples`` accepts the engine ``backend=``/``dtype=``
+    #: keywords (the only family that does).
+    accepts_solver_kwargs = True
 
     def __init__(
         self,
@@ -301,6 +318,11 @@ class RankingPrincipalCurve:
         return self._fit_result is not None
 
     @property
+    def n_attributes(self) -> int:
+        """Input width the model scores (``alpha``'s dimension)."""
+        return int(self.alpha.size)
+
+    @property
     def curve_(self) -> BezierCurve:
         """The learned curve in normalised ``[0, 1]^d`` coordinates."""
         return self._require_fit().curve
@@ -476,6 +498,21 @@ class RankingPrincipalCurve:
                 fitted["normalizer"]
             )
         return model
+
+    def to_payload(self) -> dict:
+        """ScorableModel persistence hook: :meth:`to_dict` plus the
+        ``family`` key the family-dispatching loader switches on.
+
+        The legacy ``"type"`` key is kept so payloads written by this
+        build still load on pre-family readers.
+        """
+        return {"family": self.family, **self.to_dict()}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RankingPrincipalCurve":
+        """Inverse of :meth:`to_payload`; also reads legacy
+        :meth:`to_dict` payloads (no ``family`` key)."""
+        return cls.from_dict(payload)
 
     # ------------------------------------------------------------------
     # Internals

@@ -12,6 +12,7 @@ from repro.evaluation.comparison import (
     FittableRanker,
     ModelComparison,
     compare_rankers,
+    compare_served,
 )
 from repro.evaluation.metrics import (
     explained_variance_from_residuals,
@@ -40,6 +41,7 @@ __all__ = [
     "StabilityReport",
     "bootstrap_rank_stability",
     "compare_rankers",
+    "compare_served",
     "count_order_violations",
     "evaluate_rpc_ranking",
     "explained_variance_from_residuals",

@@ -5,6 +5,12 @@ orders for the same objects.  :func:`compare_rankers` fits any mapping
 of named models exposing ``fit``/``score_samples``, assembles aligned
 :class:`repro.core.scoring.RankingList` objects, and formats the
 fixed-width text tables printed by the benchmarks and examples.
+
+:func:`compare_served` builds the same comparison without fitting
+anything locally: it POSTs the dataset to a running scoring daemon
+(one request per model name) and aligns the returned scores — the A/B
+path for models of different families already registered behind one
+``repro serve`` endpoint.
 """
 
 from __future__ import annotations
@@ -87,6 +93,63 @@ class ModelComparison:
                 cells.append(f"{ranking.positions[i]:>14d}")
             lines.append(self.labels[i].ljust(width) + "".join(cells))
         return "\n".join(lines)
+
+
+def compare_served(
+    base_url: str,
+    model_names: Sequence[str],
+    X: np.ndarray,
+    labels: Optional[Sequence[str]] = None,
+    timeout: float = 30.0,
+) -> ModelComparison:
+    """Compare already-served models by scoring ``X`` over HTTP.
+
+    Parameters
+    ----------
+    base_url:
+        Daemon root, e.g. ``"http://127.0.0.1:8000"`` (trailing slash
+        tolerated).
+    model_names:
+        Registered model names to query; each becomes one
+        ``POST /v1/models/<name>/score`` request carrying all of ``X``,
+        so batch-relative families (rank aggregators) see the whole
+        dataset at once and score it exactly as a local fit would.
+    X:
+        Observations, shape ``(n, d)`` — every named model must accept
+        the same attribute width.
+    labels:
+        Optional object names (``"0"``.. ``"n-1"`` when omitted).
+    timeout:
+        Per-request socket timeout in seconds.
+
+    Raises
+    ------
+    urllib.error.HTTPError
+        Propagated from the daemon (404 unknown model, 409 unfitted,
+        422 bad width, ...), so callers see the server's error
+        taxonomy unchanged.
+    """
+    import json
+    import urllib.request
+
+    X = np.asarray(X, dtype=float)
+    if labels is None:
+        labels = [str(i) for i in range(X.shape[0])]
+    body = json.dumps({"rows": X.tolist()}).encode("utf-8")
+    root = base_url.rstrip("/")
+    rankings: dict[str, RankingList] = {}
+    for name in model_names:
+        request = urllib.request.Request(
+            f"{root}/v1/models/{name}/score",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        scores = np.asarray(payload["scores"], dtype=float).ravel()
+        rankings[name] = build_ranking_list(scores, labels=labels)
+    return ModelComparison(labels=list(labels), rankings=rankings)
 
 
 def compare_rankers(

@@ -1,0 +1,346 @@
+"""The model-family registry: family name → ScorableModel adapter.
+
+Every model the daemon can serve belongs to a **family** — a short
+kebab-case name persisted into payloads and manifests, reported by
+``GET /v1/models``, counted in ``/metrics``, and used by the
+micro-batcher's coalescing key.  This package maps each family name to
+the class implementing the :class:`~repro.core.model_api.ScorableModel`
+contract for it, plus the metadata the persistence layer needs:
+
+``array_fields``
+    Nested payload paths of the family's array-valued state, keyed by
+    the flat name each array gets inside an ``.npz`` archive or a
+    manifest's ``arrays.npz`` shard.
+
+``pointwise``
+    Mirror of the class's ``pointwise_scores`` flag, so serving layers
+    can consult the registry without instantiating anything.
+
+``build``
+    ``build(alpha)`` → an unfitted model with default hyperparameters,
+    used by ``repro save --family <name>`` (``alpha`` is the task
+    direction vector; the pagerank family ignores it — its fit input
+    is an adjacency matrix, not attribute rows).
+
+The Bézier ranking curve (family ``"rpc"``) needs no adapter —
+:class:`~repro.core.rpc.RankingPrincipalCurve` implements the protocol
+natively and keeps its engine-backed fast path byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.model_api import ScorableModel, describe_model
+from repro.core.rpc import RankingPrincipalCurve
+from repro.families.adapter import ModelAdapter
+from repro.families.baselines import (
+    BordaCountAdapter,
+    FirstPCAAdapter,
+    KernelPCAAdapter,
+    ManifoldRankingAdapter,
+    MedianRankAdapter,
+    PageRankAdapter,
+    PageRankScorer,
+    WeightedSumAdapter,
+)
+from repro.families.princurve import (
+    ElasticMapAdapter,
+    HastieStuetzleAdapter,
+    PolygonalLineAdapter,
+    PrincipalCurveAdapter,
+    TibshiraniAdapter,
+)
+
+__all__ = [
+    "Family",
+    "ModelAdapter",
+    "PrincipalCurveAdapter",
+    "ElasticMapAdapter",
+    "HastieStuetzleAdapter",
+    "PolygonalLineAdapter",
+    "TibshiraniAdapter",
+    "FirstPCAAdapter",
+    "KernelPCAAdapter",
+    "WeightedSumAdapter",
+    "MedianRankAdapter",
+    "BordaCountAdapter",
+    "ManifoldRankingAdapter",
+    "PageRankAdapter",
+    "PageRankScorer",
+    "build_model",
+    "describe_model",
+    "family_names",
+    "family_of",
+    "get_family",
+    "register_family",
+    "resolve_payload_family",
+]
+
+
+@dataclass(frozen=True)
+class Family:
+    """Registry entry for one servable model family."""
+
+    name: str
+    cls: type
+    description: str
+    #: Flat npz/shard name -> nested payload path of each array field.
+    array_fields: Mapping[str, tuple] = field(default_factory=dict)
+    pointwise: bool = True
+    #: ``build(alpha)`` -> unfitted model with default hyperparameters.
+    build: Optional[Callable] = None
+
+    @property
+    def format_version(self) -> int:
+        return int(self.cls.format_version)
+
+
+_FAMILIES: Dict[str, Family] = {}
+
+
+def register_family(family: Family) -> Family:
+    """Add (or replace) a family in the registry."""
+    if family.cls.family != family.name:
+        raise ConfigurationError(
+            f"family entry {family.name!r} names a class whose family "
+            f"is {family.cls.family!r}"
+        )
+    _FAMILIES[family.name] = family
+    return family
+
+
+def family_names() -> List[str]:
+    """Registered family names, sorted."""
+    return sorted(_FAMILIES)
+
+
+def get_family(name: str) -> Family:
+    """Look a family up by name; unknown names fail loudly."""
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown model family {name!r}; supported families: "
+            f"{family_names()}"
+        ) from None
+
+
+def family_of(model: ScorableModel) -> str:
+    """The family name a model instance belongs to."""
+    name = getattr(model, "family", None)
+    if name is None:
+        raise ConfigurationError(
+            f"{type(model).__name__} declares no model family; adapt it "
+            "via repro.families before serving"
+        )
+    return str(name)
+
+
+def resolve_payload_family(payload: dict) -> Family:
+    """The family a persisted payload belongs to.
+
+    Payloads written before the family registry existed carry no
+    ``family`` key but always a ``type`` of ``"RankingPrincipalCurve"``
+    — those resolve to the ``"rpc"`` family, which is what keeps every
+    v1 single-file payload loading unchanged.
+    """
+    name = payload.get("family")
+    if name is None and payload.get("type") == "RankingPrincipalCurve":
+        name = "rpc"
+    if name is None:
+        raise ConfigurationError(
+            "payload names no model family (and is not a legacy "
+            "RankingPrincipalCurve payload); supported families: "
+            f"{family_names()}"
+        )
+    return get_family(str(name))
+
+
+def build_model(
+    name: str, alpha: Optional[np.ndarray] = None
+) -> ScorableModel:
+    """An unfitted model of family ``name`` with default hyperparameters.
+
+    This is the ``repro save --family`` entry point; families that
+    require a task direction raise :class:`ConfigurationError` when
+    ``alpha`` is missing.
+    """
+    family = get_family(name)
+    if family.build is None:
+        raise ConfigurationError(
+            f"family {family.name!r} cannot be built from the CLI"
+        )
+    return family.build(alpha)
+
+
+def _require_alpha(name: str, alpha) -> np.ndarray:
+    if alpha is None:
+        raise ConfigurationError(
+            f"family {name!r} needs a task direction vector (--alpha)"
+        )
+    return np.asarray(alpha, dtype=float)
+
+
+# ----------------------------------------------------------------------
+# Built-in families
+# ----------------------------------------------------------------------
+
+#: Nested payload locations of the Bézier curve's array-valued fields
+#: (the historical ``.npz`` layout, unchanged so old archives load).
+RPC_ARRAY_FIELDS = {
+    "control_points": ("fitted", "curve", "control_points"),
+    "data_min": ("fitted", "normalizer", "data_min"),
+    "data_max": ("fitted", "normalizer", "data_max"),
+    "training_scores": ("fitted", "training_scores"),
+    "objectives": ("fitted", "trace", "objectives"),
+    "step_sizes": ("fitted", "trace", "step_sizes"),
+}
+
+register_family(Family(
+    name="rpc",
+    cls=RankingPrincipalCurve,
+    description="Bézier ranking principal curve (the paper's model)",
+    array_fields=RPC_ARRAY_FIELDS,
+    build=lambda alpha: RankingPrincipalCurve(
+        alpha=_require_alpha("rpc", alpha)
+    ),
+))
+
+register_family(Family(
+    name="hastie-stuetzle",
+    cls=HastieStuetzleAdapter,
+    description="Hastie–Stuetzle smooth principal curve",
+    array_fields={"nodes": ("fitted", "nodes")},
+    build=lambda alpha: HastieStuetzleAdapter(
+        orient_alpha=_require_alpha("hastie-stuetzle", alpha)
+    ),
+))
+
+register_family(Family(
+    name="polyline",
+    cls=PolygonalLineAdapter,
+    description="Kégl polygonal principal line",
+    array_fields={"vertices": ("fitted", "vertices")},
+    build=lambda alpha: PolygonalLineAdapter(
+        orient_alpha=_require_alpha("polyline", alpha)
+    ),
+))
+
+register_family(Family(
+    name="elastic-map",
+    cls=ElasticMapAdapter,
+    description="Gorban–Zinovyev elastic map curve",
+    array_fields={
+        "nodes": ("fitted", "nodes"),
+        "energy_trace": ("fitted", "energy_trace"),
+    },
+    build=lambda alpha: ElasticMapAdapter(
+        orient_alpha=_require_alpha("elastic-map", alpha)
+    ),
+))
+
+register_family(Family(
+    name="tibshirani",
+    cls=TibshiraniAdapter,
+    description="Tibshirani probabilistic principal curve",
+    array_fields={
+        "nodes": ("fitted", "nodes"),
+        "log_likelihood_trace": ("fitted", "log_likelihood_trace"),
+    },
+    build=lambda alpha: TibshiraniAdapter(
+        orient_alpha=_require_alpha("tibshirani", alpha)
+    ),
+))
+
+register_family(Family(
+    name="first-pca",
+    cls=FirstPCAAdapter,
+    description="First-principal-component linear ranker",
+    array_fields={
+        "data_min": ("fitted", "normalizer", "data_min"),
+        "data_max": ("fitted", "normalizer", "data_max"),
+        "mean": ("fitted", "mean"),
+        "direction": ("fitted", "direction"),
+    },
+    build=lambda alpha: FirstPCAAdapter(
+        alpha=_require_alpha("first-pca", alpha)
+    ),
+))
+
+register_family(Family(
+    name="kernel-pca",
+    cls=KernelPCAAdapter,
+    description="Kernel-PCA leading-component ranker",
+    array_fields={
+        "data_min": ("fitted", "normalizer", "data_min"),
+        "data_max": ("fitted", "normalizer", "data_max"),
+        "train": ("fitted", "train"),
+        "row_means": ("fitted", "row_means"),
+        "component": ("fitted", "component"),
+    },
+    build=lambda alpha: KernelPCAAdapter(
+        alpha=_require_alpha("kernel-pca", alpha)
+    ),
+))
+
+register_family(Family(
+    name="weighted-sum",
+    cls=WeightedSumAdapter,
+    description="Expert-weighted attribute summation",
+    array_fields={
+        "data_min": ("fitted", "normalizer", "data_min"),
+        "data_max": ("fitted", "normalizer", "data_max"),
+    },
+    build=lambda alpha: WeightedSumAdapter(
+        alpha=_require_alpha("weighted-sum", alpha)
+    ),
+))
+
+register_family(Family(
+    name="median-rank",
+    cls=MedianRankAdapter,
+    description="Median (mean-position) rank aggregation, batch-relative",
+    pointwise=False,
+    build=lambda alpha: MedianRankAdapter(
+        alpha=_require_alpha("median-rank", alpha)
+    ),
+))
+
+register_family(Family(
+    name="borda",
+    cls=BordaCountAdapter,
+    description="Borda count rank aggregation, batch-relative",
+    pointwise=False,
+    build=lambda alpha: BordaCountAdapter(
+        alpha=_require_alpha("borda", alpha)
+    ),
+))
+
+register_family(Family(
+    name="manifold",
+    cls=ManifoldRankingAdapter,
+    description="Manifold-ranking nearest-neighbour scorer",
+    array_fields={
+        "data_min": ("fitted", "normalizer", "data_min"),
+        "data_max": ("fitted", "normalizer", "data_max"),
+        "train": ("fitted", "train"),
+        "scores": ("fitted", "scores"),
+    },
+    build=lambda alpha: ManifoldRankingAdapter(
+        alpha=_require_alpha("manifold", alpha)
+    ),
+))
+
+register_family(Family(
+    name="pagerank",
+    cls=PageRankAdapter,
+    description="PageRank stationary scores served by node index "
+    "(fit input is the adjacency matrix)",
+    array_fields={"scores": ("fitted", "scores")},
+    build=lambda alpha: PageRankAdapter(),
+))

@@ -1,0 +1,293 @@
+"""ScorableModel adapters for the ``repro.baselines`` rankers.
+
+Two semantic notes the serving layers rely on:
+
+* The rank aggregators (median rank, Borda count) score a row by its
+  *position among the rows it arrived with* — their fit is stateless
+  and their scores are batch-relative.  Their adapters set
+  ``pointwise_scores = False``, which tells ``score_batch`` to score
+  the whole input in one call (chunking would change positions) and
+  the micro-batcher never to coalesce their requests with anyone
+  else's rows.
+* :func:`repro.baselines.pagerank` is a function on adjacency
+  matrices, not a row scorer.  :class:`PageRankScorer` is its serving
+  adaptation: ``fit`` takes the ``(n, n)`` adjacency matrix, runs the
+  power iteration once, and stores the stationary scores; scoring then
+  takes one-column rows of node indices and returns each node's
+  precomputed score — serving a link-structure ranking by id.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines import (
+    BordaCountAggregator,
+    FirstPCARanker,
+    KernelPCARanker,
+    ManifoldRanker,
+    MedianRankAggregator,
+    WeightedSumRanker,
+    pagerank,
+)
+from repro.core.exceptions import DataValidationError, NotFittedError
+from repro.data.normalize import MinMaxNormalizer
+from repro.families.adapter import ModelAdapter
+
+
+class AlphaBaselineAdapter(ModelAdapter):
+    """Common ground for the baselines: an ``alpha``-directed ranker."""
+
+    @property
+    def n_attributes(self) -> Optional[int]:
+        return int(self.model.alpha.size)
+
+    def _hyperparameters(self) -> dict:
+        return {"alpha": self.model.alpha.tolist()}
+
+
+class FirstPCAAdapter(AlphaBaselineAdapter):
+    family = "first-pca"
+    model_cls = FirstPCARanker
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.model.direction_ is not None
+
+    def _fitted_payload(self) -> dict:
+        return {
+            "normalizer": self.model._normalizer.to_dict(),
+            "mean": self.model.mean_.tolist(),
+            "direction": self.model.direction_.tolist(),
+        }
+
+    def _restore_fitted(self, fitted: dict) -> None:
+        self.model._normalizer = MinMaxNormalizer.from_dict(
+            fitted["normalizer"]
+        )
+        self.model.mean_ = np.asarray(fitted["mean"], dtype=float)
+        self.model.direction_ = np.asarray(
+            fitted["direction"], dtype=float
+        )
+
+
+class KernelPCAAdapter(AlphaBaselineAdapter):
+    family = "kernel-pca"
+    model_cls = KernelPCARanker
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.model._component is not None
+
+    def _hyperparameters(self) -> dict:
+        return {
+            "alpha": self.model.alpha.tolist(),
+            "kernel": self.model.kernel,
+            "gamma": self.model.gamma,
+            "degree": self.model.degree,
+        }
+
+    def _fitted_payload(self) -> dict:
+        return {
+            "normalizer": self.model._normalizer.to_dict(),
+            "train": self.model._train.tolist(),
+            "row_means": self.model._row_means.tolist(),
+            "total_mean": float(self.model._total_mean),
+            "component": self.model._component.tolist(),
+        }
+
+    def _restore_fitted(self, fitted: dict) -> None:
+        self.model._normalizer = MinMaxNormalizer.from_dict(
+            fitted["normalizer"]
+        )
+        self.model._train = np.asarray(fitted["train"], dtype=float)
+        self.model._row_means = np.asarray(
+            fitted["row_means"], dtype=float
+        )
+        self.model._total_mean = float(fitted["total_mean"])
+        self.model._component = np.asarray(
+            fitted["component"], dtype=float
+        )
+
+
+class WeightedSumAdapter(AlphaBaselineAdapter):
+    family = "weighted-sum"
+    model_cls = WeightedSumRanker
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.model._normalizer is not None
+
+    def _hyperparameters(self) -> dict:
+        # The ranker normalises weights in its constructor (sum == 1),
+        # so round-tripping the stored weights is exact: w / 1.0 == w.
+        return {
+            "alpha": self.model.alpha.tolist(),
+            "weights": self.model.weights.tolist(),
+        }
+
+    def _fitted_payload(self) -> dict:
+        return {"normalizer": self.model._normalizer.to_dict()}
+
+    def _restore_fitted(self, fitted: dict) -> None:
+        self.model._normalizer = MinMaxNormalizer.from_dict(
+            fitted["normalizer"]
+        )
+
+
+class _AggregatorAdapter(AlphaBaselineAdapter):
+    """Shared shape of the stateless, batch-relative aggregators.
+
+    The wrapped aggregator carries no fitted state, but the serving
+    contract still distinguishes fitted from unfitted (an unfitted
+    registered model answers 409), so the adapter tracks the flag.
+    """
+
+    pointwise_scores = False
+
+    def __init__(self, model=None, **hyperparams):
+        super().__init__(model, **hyperparams)
+        self._fitted = False
+
+    def fit(self, X: np.ndarray) -> "_AggregatorAdapter":
+        super().fit(X)
+        self._fitted = True
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def _fitted_payload(self) -> dict:
+        return {}
+
+    def _restore_fitted(self, fitted: dict) -> None:
+        self._fitted = True
+
+
+class MedianRankAdapter(_AggregatorAdapter):
+    family = "median-rank"
+    model_cls = MedianRankAggregator
+
+
+class BordaCountAdapter(_AggregatorAdapter):
+    family = "borda"
+    model_cls = BordaCountAggregator
+
+
+class ManifoldRankingAdapter(AlphaBaselineAdapter):
+    family = "manifold"
+    model_cls = ManifoldRanker
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.model._scores is not None
+
+    def _hyperparameters(self) -> dict:
+        return {
+            "alpha": self.model.alpha.tolist(),
+            "beta": self.model.beta,
+            "sigma": self.model.sigma,
+            "n_anchors": self.model.n_anchors,
+        }
+
+    def _fitted_payload(self) -> dict:
+        return {
+            "normalizer": self.model._normalizer.to_dict(),
+            "train": self.model._train.tolist(),
+            "scores": self.model._scores.tolist(),
+        }
+
+    def _restore_fitted(self, fitted: dict) -> None:
+        self.model._normalizer = MinMaxNormalizer.from_dict(
+            fitted["normalizer"]
+        )
+        self.model._train = np.asarray(fitted["train"], dtype=float)
+        self.model._scores = np.asarray(fitted["scores"], dtype=float)
+
+
+class PageRankScorer:
+    """Row-scoring adaptation of the :func:`~repro.baselines.pagerank`
+    graph function (see the module docstring)."""
+
+    def __init__(
+        self,
+        damping: float = 0.85,
+        tol: float = 1e-10,
+        max_iter: int = 200,
+    ):
+        self.damping = float(damping)
+        self.tol = float(tol)
+        self.max_iter = int(max_iter)
+        self.scores_: Optional[np.ndarray] = None
+        self.n_iterations_: int = 0
+        self.converged_: bool = False
+
+    def fit(self, adjacency: np.ndarray) -> "PageRankScorer":
+        result = pagerank(
+            adjacency,
+            damping=self.damping,
+            tol=self.tol,
+            max_iter=self.max_iter,
+        )
+        self.scores_ = result.scores
+        self.n_iterations_ = int(result.n_iterations)
+        self.converged_ = bool(result.converged)
+        return self
+
+    def score_samples(self, X: np.ndarray) -> np.ndarray:
+        if self.scores_ is None:
+            raise NotFittedError("PageRankScorer")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != 1:
+            raise DataValidationError(
+                "PageRank scoring rows are single node indices; "
+                f"expected shape (n, 1), got {X.shape}"
+            )
+        ids = X[:, 0]
+        if ids.size and not np.all(ids == np.floor(ids)):
+            raise DataValidationError(
+                "PageRank node indices must be integers"
+            )
+        ids = ids.astype(int)
+        n = self.scores_.size
+        if ids.size and (ids.min() < 0 or ids.max() >= n):
+            raise DataValidationError(
+                f"PageRank node index out of range [0, {n})"
+            )
+        return self.scores_[ids]
+
+
+class PageRankAdapter(ModelAdapter):
+    family = "pagerank"
+    model_cls = PageRankScorer
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.model.scores_ is not None
+
+    @property
+    def n_attributes(self) -> int:
+        # Scoring rows are single node indices regardless of graph size.
+        return 1
+
+    def _hyperparameters(self) -> dict:
+        return {
+            "damping": self.model.damping,
+            "tol": self.model.tol,
+            "max_iter": self.model.max_iter,
+        }
+
+    def _fitted_payload(self) -> dict:
+        return {
+            "scores": self.model.scores_.tolist(),
+            "n_iterations": int(self.model.n_iterations_),
+            "converged": bool(self.model.converged_),
+        }
+
+    def _restore_fitted(self, fitted: dict) -> None:
+        self.model.scores_ = np.asarray(fitted["scores"], dtype=float)
+        self.model.n_iterations_ = int(fitted["n_iterations"])
+        self.model.converged_ = bool(fitted["converged"])

@@ -1,0 +1,154 @@
+"""ScorableModel adapters for the ``repro.princurve`` comparators.
+
+All four curves share the :class:`~repro.princurve.base.PrincipalCurveModel`
+interface, so the fitted state that must survive a round trip is
+uniform: the polyline/node chain the curve is stored as, the
+orientation flip resolved against ``orient_alpha`` at fit time, and a
+handful of per-family scalars (iteration counts, the elastic map's
+score offset, Tibshirani's noise variance).  The training matrix
+itself is *not* persisted — projection needs only the node chain — so
+a saved principal curve is a few KB however large the fit was.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Optional
+
+import numpy as np
+
+from repro.families.adapter import ModelAdapter, as_float_list
+from repro.princurve import (
+    ElasticMapCurve,
+    HastieStuetzleCurve,
+    PolygonalLineCurve,
+    TibshiraniCurve,
+)
+
+
+class PrincipalCurveAdapter(ModelAdapter):
+    """Common persistence for the principal-curve family adapters.
+
+    Subclasses name their scalar hyperparameters (``HYPERPARAMS``,
+    matching constructor keywords and instance attributes) and
+    override the node-state hooks where their fitted state differs
+    from the plain node-chain default.
+    """
+
+    HYPERPARAMS: ClassVar[tuple] = ()
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.model._fitted_X is not None
+
+    @property
+    def n_attributes(self) -> Optional[int]:
+        chain = self._node_chain()
+        if chain is not None:
+            return int(np.asarray(chain).shape[1])
+        if self.model.orient_alpha is not None:
+            return int(self.model.orient_alpha.size)
+        return None
+
+    def _node_chain(self):
+        return self.model.nodes_
+
+    def _hyperparameters(self) -> dict:
+        hp = {
+            name: getattr(self.model, name) for name in self.HYPERPARAMS
+        }
+        hp["orient_alpha"] = as_float_list(self.model.orient_alpha)
+        return hp
+
+    def _mark_fitted(self, n_features: int, flip: bool) -> None:
+        # The base class keeps the training matrix only as a
+        # fitted-ness sentinel; a zero-row matrix of the right width
+        # restores that state without persisting the data.
+        self.model._fitted_X = np.zeros((0, int(n_features)))
+        self.model._flip = bool(flip)
+
+
+class HastieStuetzleAdapter(PrincipalCurveAdapter):
+    family = "hastie-stuetzle"
+    model_cls = HastieStuetzleCurve
+    HYPERPARAMS = ("smoother", "bandwidth", "n_nodes", "max_iter", "tol")
+
+    def _fitted_payload(self) -> dict:
+        return {
+            "nodes": self.model.nodes_.tolist(),
+            "n_iterations": int(self.model.n_iterations_),
+            "flip": bool(self.model._flip),
+        }
+
+    def _restore_fitted(self, fitted: dict) -> None:
+        self.model.nodes_ = np.asarray(fitted["nodes"], dtype=float)
+        self.model.n_iterations_ = int(fitted["n_iterations"])
+        self._mark_fitted(self.model.nodes_.shape[1], fitted["flip"])
+
+
+class PolygonalLineAdapter(PrincipalCurveAdapter):
+    family = "polyline"
+    model_cls = PolygonalLineCurve
+    HYPERPARAMS = ("n_vertices", "curvature_penalty", "n_relaxations")
+
+    def _node_chain(self):
+        return self.model.vertices_
+
+    def _fitted_payload(self) -> dict:
+        return {
+            "vertices": self.model.vertices_.tolist(),
+            "flip": bool(self.model._flip),
+        }
+
+    def _restore_fitted(self, fitted: dict) -> None:
+        self.model.vertices_ = np.asarray(fitted["vertices"], dtype=float)
+        self._mark_fitted(self.model.vertices_.shape[1], fitted["flip"])
+
+
+class ElasticMapAdapter(PrincipalCurveAdapter):
+    family = "elastic-map"
+    model_cls = ElasticMapCurve
+    HYPERPARAMS = (
+        "n_nodes", "stretch", "bend", "max_iter", "tol", "centered_scores",
+    )
+
+    def _fitted_payload(self) -> dict:
+        return {
+            "nodes": self.model.nodes_.tolist(),
+            "energy_trace": [float(e) for e in self.model.energy_trace_],
+            "score_offset": float(self.model._score_offset),
+            "flip": bool(self.model._flip),
+        }
+
+    def _restore_fitted(self, fitted: dict) -> None:
+        self.model.nodes_ = np.asarray(fitted["nodes"], dtype=float)
+        self.model.energy_trace_ = [
+            float(e) for e in fitted["energy_trace"]
+        ]
+        self.model._score_offset = float(fitted["score_offset"])
+        self._mark_fitted(self.model.nodes_.shape[1], fitted["flip"])
+
+
+class TibshiraniAdapter(PrincipalCurveAdapter):
+    family = "tibshirani"
+    model_cls = TibshiraniCurve
+    HYPERPARAMS = (
+        "n_nodes", "smoothness", "max_iter", "tol", "min_variance",
+    )
+
+    def _fitted_payload(self) -> dict:
+        return {
+            "nodes": self.model.nodes_.tolist(),
+            "variance": float(self.model.variance_),
+            "log_likelihood_trace": [
+                float(v) for v in self.model.log_likelihood_trace_
+            ],
+            "flip": bool(self.model._flip),
+        }
+
+    def _restore_fitted(self, fitted: dict) -> None:
+        self.model.nodes_ = np.asarray(fitted["nodes"], dtype=float)
+        self.model.variance_ = float(fitted["variance"])
+        self.model.log_likelihood_trace_ = [
+            float(v) for v in fitted["log_likelihood_trace"]
+        ]
+        self._mark_fitted(self.model.nodes_.shape[1], fitted["flip"])

@@ -63,7 +63,7 @@ class PrincipalCurveModel(abc.ABC):
     # ------------------------------------------------------------------
     def fit(self, X: np.ndarray) -> "PrincipalCurveModel":
         """Fit the curve on a data matrix of shape ``(n, d)``."""
-        X = self._validate(X)
+        X = self._validate(X, min_rows=2)
         self._fit(X)
         self._fitted_X = X
         self._flip = False
@@ -120,13 +120,17 @@ class PrincipalCurveModel(abc.ABC):
             raise NotFittedError(type(self).__name__)
 
     @staticmethod
-    def _validate(X: np.ndarray) -> np.ndarray:
+    def _validate(X: np.ndarray, min_rows: int = 1) -> np.ndarray:
+        # Fitting needs >= 2 points to define a curve; scoring against
+        # an already-fitted curve is a per-row projection and must
+        # accept single rows (the serving layer chunks arbitrarily and
+        # the daemon takes one-row requests).
         X = np.asarray(X, dtype=float)
         if X.ndim != 2:
             raise DataValidationError(f"X must be 2-D, got ndim={X.ndim}")
-        if X.shape[0] < 2:
+        if X.shape[0] < min_rows:
             raise DataValidationError(
-                f"need at least 2 data points, got {X.shape[0]}"
+                f"need at least {min_rows} data points, got {X.shape[0]}"
             )
         if not np.all(np.isfinite(X)):
             raise DataValidationError("X contains NaN or inf entries")

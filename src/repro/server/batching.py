@@ -34,10 +34,20 @@ Micro-batching is invisible in the responses, bit for bit:
   so a row's score does not depend on which other rows share its
   solve.  Concatenating requests therefore returns byte-identical
   scores to scoring each request alone — pinned by the randomized
-  suite in ``tests/test_server_batching.py``.
+  suite in ``tests/test_server_batching.py``.  Adapted families are
+  per-row in exact arithmetic too; their BLAS matmuls are not
+  bit-stable across batch shapes, so coalescing may move their scores
+  at the last-ulp level (never beyond).
 * Requests are only merged when they share the model *object* (a hot
-  reload mid-window splits batches, never mixes models) and the row
-  width, so a malformed request cannot poison the concatenation shape.
+  reload mid-window splits batches, never mixes models), the model's
+  *family* (mixed-family traffic batches safely — an rpc request can
+  never be concatenated into an elastic-map solve even if a registry
+  slot is hot-swapped between families), and the row width, so a
+  malformed request cannot poison the concatenation shape.
+* Batch-relative families (``model.pointwise_scores`` false — the rank
+  aggregators, whose scores are positions *within* the submitted rows)
+  are never coalesced at all: merging two requests would change both
+  answers, so they always take the direct path.
 * If the merged call raises an :class:`Exception` (e.g. one request's
   rows contain NaN), the batch falls back to scoring each request
   individually, so errors land on exactly the requests that caused
@@ -209,7 +219,7 @@ class MicroBatcher:
         each solve once however requests were coalesced.
 
     Thread model: callers are the daemon's per-connection handler
-    threads.  The first caller for a (model, width) key becomes the
+    threads.  The first caller for a (model, family, width) key becomes the
     batch *leader*: it sleeps out the window (or until the batch
     fills), executes the merged call, scatters results, and wakes the
     followers, which were blocking on the batch's event.  No extra
@@ -248,7 +258,7 @@ class MicroBatcher:
         self._on_flush = on_flush
         self._on_execute = on_execute
         self._lock = threading.Lock()
-        self._pending: Dict[Tuple[int, int], _Batch] = {}
+        self._pending: Dict[Tuple[int, str, int], _Batch] = {}
         self._batch_seq = 0
         # Telemetry (guarded by the same lock).
         self._inflight = 0
@@ -280,13 +290,20 @@ class MicroBatcher:
             or X.ndim != 2
             or X.shape[0] == 0
             or X.shape[0] >= self.max_rows
+            # Batch-relative scoring (rank aggregators): coalescing
+            # would change every member's answer, so never merge.
+            or not getattr(model, "pointwise_scores", True)
         ):
             with self._lock:
                 self._requests_direct += 1
             return self._scored_direct(model, X, trace)
 
         request = _Request(X, trace)
-        key = (id(model), int(X.shape[1]))
+        key = (
+            id(model),
+            getattr(model, "family", type(model).__name__),
+            int(X.shape[1]),
+        )
         with self._lock:
             self._inflight += 1
             batch = self._pending.get(key)

@@ -1,12 +1,16 @@
 """The scoring daemon: a stdlib-only JSON-over-HTTP server.
 
-A fitted Ranking Principal Curve is a tiny object, but PR 1's serving
-path still paid a process start and a model load per scoring run.  This
-module keeps models resident behind a long-running
+A fitted model is a tiny object, but PR 1's serving path still paid a
+process start and a model load per scoring run.  This module keeps
+models resident behind a long-running
 :class:`http.server.ThreadingHTTPServer` — one OS thread per
 connection, models shared through a :class:`ModelRegistry`, large
 bodies dispatched through chunked (optionally multi-threaded)
-:func:`score_batch`.  No third-party dependencies.
+:func:`score_batch`.  Any registered model family
+(:mod:`repro.families`) serves through the same endpoints; the
+projection-engine knobs (``backend``, ``score_dtype``) and the
+``engine`` metrics block apply to the Bézier ``rpc`` family only.
+No third-party dependencies.
 
 Endpoints
 ---------
@@ -15,7 +19,10 @@ Endpoints
 ``GET /metrics``
     Request counts, latency percentiles and rows-scored totals.
 ``GET /v1/models``
-    Registry listing (path, format, attribute names, reload state).
+    Registry listing (path, format, family, attribute names, reload
+    state).
+``GET /v1/models/<name>``
+    One registry entry, same shape as the listing's entries.
 ``POST /v1/models/<name>/score``
     Body ``{"row": [..]}`` for one object or ``{"rows": [[..], ..]}``
     for a batch; returns scores aligned with the input order.
@@ -94,6 +101,9 @@ from repro.serving.batch import (
 
 #: ``/v1/models/<name>/score`` and ``/v1/models/<name>/rank``.
 _MODEL_ROUTE = re.compile(r"^/v1/models/([^/]+)/(score|rank)$")
+
+#: ``/v1/models/<name>`` — one registry entry's description.
+_MODEL_INFO_ROUTE = re.compile(r"^/v1/models/([^/]+)$")
 
 #: ``/v1/debug/trace/<request-id>`` — trace retrieval.
 _TRACE_ROUTE_PREFIX = "/v1/debug/trace/"
@@ -527,6 +537,12 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
             )
         elif _MODEL_ROUTE.match(path):
             self._handle("GET (scoring route)", self._get_scoring_route)
+        elif _MODEL_INFO_ROUTE.match(path):
+            name = _MODEL_INFO_ROUTE.match(path).group(1)
+            self._handle(
+                "GET /v1/models/{name}",
+                lambda: self._get_model_info(name),
+            )
         else:
             self._handle("GET (unrouted)", self._no_route)
 
@@ -616,6 +632,7 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
         # Additive observability keys (the pre-existing key set above
         # is pinned byte-compatible by the test suite).
         snapshot["engine"] = self._engine_json()
+        snapshot["families"] = self.server.metrics.families()
         snapshot["registry"] = self.server.registry.stats()
         if self.server.tracer is not None:
             snapshot["tracer"] = self.server.tracer.stats()
@@ -684,6 +701,19 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
             entry["score_dtype"] = self.server.score_dtype_name
         return 200, {"models": models}, 0
 
+    def _get_model_info(self, name: str) -> Tuple[int, dict, int]:
+        # Same per-entry shape as the /v1/models listing (including the
+        # daemon-wide backend/score_dtype keys), but resolved through
+        # the registry's hot-reload path so the answer reflects the
+        # model that the next scoring request would actually use.
+        try:
+            entry = self.server.registry.describe_one(name)
+        except UnknownModelError as exc:
+            raise _RequestError(404, str(exc)) from None
+        entry["backend"] = self.server.backend_name
+        entry["score_dtype"] = self.server.score_dtype_name
+        return 200, entry, 0
+
     def _post_model(self, name: str, action: str) -> Tuple[int, dict, int]:
         # Admission control runs before the body is even read: a shed
         # must be cheap, so the 429 goes out immediately and the
@@ -717,6 +747,11 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
                 model = self.server.registry.get(name)
             except UnknownModelError as exc:
                 raise _RequestError(404, str(exc)) from None
+        # Counted after the registry resolves the name, so 404s and
+        # admission sheds never inflate a family's request count.
+        self.server.metrics.observe_family(
+            getattr(model, "family", type(model).__name__)
+        )
 
         with trace.span("validate"):
             X, single, labels = self._parse_scoring_body(body, action)
@@ -725,7 +760,7 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
             # the documented taxonomy still promises 409 for unfitted
             # models — an empty probe must not report "servable".
             raise _RequestError(
-                409, str(NotFittedError("RankingPrincipalCurve"))
+                409, str(NotFittedError(type(model).__name__))
             )
         try:
             scores = self.server.score(model, X, trace)
@@ -1100,6 +1135,16 @@ def _prometheus_exposition(server: ScoringHTTPServer) -> str:
         },
     )
     families.append(engine_info)
+
+    by_family = MetricFamily(
+        "repro_requests_by_family_total",
+        "counter",
+        "Scoring requests by model family (per-worker: family labels "
+        "are free-form and do not fit fixed shared-store cells).",
+    )
+    for family_name, count in metrics.families().items():
+        by_family.add_sample(float(count), {"family": family_name})
+    families.append(by_family)
 
     fill = MetricFamily(
         "repro_batch_fill_requests",

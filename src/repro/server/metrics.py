@@ -157,6 +157,7 @@ class ServerMetrics:
             len(BATCH_FILL_BUCKETS) + 1, dtype=np.float64
         )
         self._batch_fill_requests = 0
+        self._families: Counter[str] = Counter()
         self._mirror = mirror
 
     def observe(
@@ -210,6 +211,25 @@ class ServerMetrics:
                 )
             if self._mirror is not None:
                 self._mirror.observe(endpoint, status, seconds, rows)
+
+    def observe_family(self, family: str) -> None:
+        """Count one scoring request against a model family.
+
+        Recorded after the registry resolves the model (so 404s and
+        sheds do not count) and kept per-worker: family labels are
+        free-form strings that do not fit the shared store's fixed
+        cells, the same trade-off the registry stats make.
+        """
+        with self._lock:
+            self._families[str(family)] += 1
+
+    def families(self) -> Dict[str, int]:
+        """Scoring requests handled per model family (this worker)."""
+        with self._lock:
+            return {
+                family: int(count)
+                for family, count in sorted(self._families.items())
+            }
 
     @property
     def rows_scored(self) -> int:

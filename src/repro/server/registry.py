@@ -1,11 +1,14 @@
 """Thread-safe named-model registry with mtime-based hot reload.
 
-The daemon serves any number of fitted models side by side, each
-registered under a short name (``repro serve --model wellbeing=m.json
---model journals=j.npz``).  The registry owns the mapping from name to
-loaded :class:`RankingPrincipalCurve` and re-checks the backing file's
-mtime on every access: overwrite ``m.json`` with a freshly fitted model
-and the next request scores with it — no restart, no dropped traffic.
+The daemon serves any number of fitted models side by side — of any
+registered family — each under a short name (``repro serve --model
+wellbeing=m.json --model elmap=models/elmap`` where the second path is
+a manifest directory).  The registry owns the mapping from name to
+loaded :class:`~repro.core.model_api.ScorableModel` and re-checks the
+backing file's mtime on every access (the ``manifest.json``
+descriptor, for manifest layouts): overwrite the file with a freshly
+fitted model and the next request scores with it — no restart, no
+dropped traffic.
 
 Reload failures are contained: if the file on disk is mid-write or
 corrupt, the previous model keeps serving and the error is recorded on
@@ -21,8 +24,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.exceptions import ReproError
-from repro.core.rpc import RankingPrincipalCurve
-from repro.serving.persistence import check_model_path, load_model
+from repro.core.model_api import ScorableModel, describe_model
+from repro.serving.persistence import (
+    check_model_path,
+    is_manifest_path,
+    load_model,
+    model_mtime_ns,
+)
 
 
 class UnknownModelError(ReproError, KeyError):
@@ -45,7 +53,7 @@ class RegisteredModel:
 
     name: str
     path: pathlib.Path
-    model: RankingPrincipalCurve
+    model: ScorableModel
     mtime_ns: int
     loads: int = 1
     last_error: Optional[str] = None
@@ -56,18 +64,25 @@ class RegisteredModel:
     )
 
     def describe(self) -> dict:
-        """JSON-serialisable summary for the ``/v1/models`` listing."""
-        return {
+        """JSON-serialisable summary for the ``/v1/models`` listing.
+
+        Family-agnostic keys (``family``, ``fitted``, ``n_attributes``,
+        ``feature_names``) are always present; family-specific extras
+        (the Bézier ``degree``) appear when the model exposes them.
+        """
+        entry = {
             "name": self.name,
             "path": str(self.path),
-            "format": self.path.suffix.lstrip("."),
-            "fitted": self.model.is_fitted,
-            "n_attributes": int(self.model.alpha.size),
-            "degree": int(self.model.degree),
-            "feature_names": self.model.feature_names_,
+            "format": (
+                "manifest"
+                if is_manifest_path(self.path)
+                else self.path.suffix.lstrip(".")
+            ),
             "loads": self.loads,
             "last_error": self.last_error,
         }
+        entry.update(describe_model(self.model))
+        return entry
 
 
 class ModelRegistry:
@@ -103,7 +118,7 @@ class ModelRegistry:
         # lands in between makes the stored mtime stale, so the next
         # access reloads — whereas load-then-stat would record the new
         # mtime against the old bytes and suppress that reload forever.
-        mtime_ns = path.stat().st_mtime_ns
+        mtime_ns = model_mtime_ns(path)
         entry = RegisteredModel(
             name=str(name),
             path=path,
@@ -114,8 +129,9 @@ class ModelRegistry:
             self._models[entry.name] = entry
         return entry
 
-    def get(self, name: str) -> RankingPrincipalCurve:
-        """The current model for ``name``, hot-reloading if it changed."""
+    def get(self, name: str) -> ScorableModel:
+        """The current model for ``name`` — whatever family the backing
+        file holds — hot-reloading if it changed."""
         with self._lock:
             try:
                 entry = self._models[name]
@@ -135,6 +151,20 @@ class ModelRegistry:
             return [
                 self._models[name].describe() for name in sorted(self._models)
             ]
+
+    def describe_one(self, name: str) -> dict:
+        """Payload of ``GET /v1/models/<name>`` for one entry.
+
+        Goes through :meth:`get` first so the answer reflects a
+        hot-reload that landed since the last access; raises
+        :class:`UnknownModelError` for unregistered names.
+        """
+        self.get(name)
+        with self._lock:
+            try:
+                return self._models[name].describe()
+            except KeyError:
+                raise UnknownModelError(name, self.names()) from None
 
     def __len__(self) -> int:
         with self._lock:
@@ -176,7 +206,7 @@ class ModelRegistry:
             with self._stats_lock:
                 self._reload_checks += 1
             try:
-                mtime_ns = entry.path.stat().st_mtime_ns
+                mtime_ns = model_mtime_ns(entry.path)
             except OSError as exc:
                 # File vanished: keep serving the loaded model, note why.
                 entry.last_error = f"stat failed: {exc}"

@@ -7,8 +7,10 @@ normalisation bounds) that can score millions of new objects with
 nothing but vectorised projection.  This package supplies the two
 halves of that workflow:
 
-* :mod:`repro.serving.persistence` — save/load fitted models as JSON
-  (human-readable, diff-able) or NumPy ``.npz`` (binary, compact).
+* :mod:`repro.serving.persistence` — save/load fitted models of any
+  registered family (:mod:`repro.families`) as JSON (human-readable,
+  diff-able), NumPy ``.npz`` (binary, compact), or a versioned
+  manifest directory (``manifest.json`` plus artifact shards).
   Round-trips are exact: a reloaded model scores bit-identically to
   the in-memory original.
 * :mod:`repro.serving.batch` — ``score_batch(model, X, chunk_size=...)``
@@ -62,10 +64,15 @@ from repro.serving.extsort import (
     ExternalSorter,
 )
 from repro.serving.persistence import (
+    MANIFEST_NAME,
     check_model_path,
     dumps_model,
+    is_manifest_path,
+    load_manifest,
     load_model,
     loads_model,
+    model_mtime_ns,
+    save_manifest,
     save_model,
 )
 from repro.serving.stream import (
@@ -82,14 +89,19 @@ __all__ = [
     "DEFAULT_MAX_OPEN_RUNS",
     "DEFAULT_MEMORY_BUDGET_ROWS",
     "ExternalSorter",
+    "MANIFEST_NAME",
     "check_model_path",
     "dumps_model",
+    "is_manifest_path",
     "iter_csv_chunks",
     "iter_csv_rows",
     "iter_score_chunks",
     "iter_stream_scores",
+    "load_manifest",
     "load_model",
     "loads_model",
+    "model_mtime_ns",
+    "save_manifest",
     "save_model",
     "score_batch",
     "stream_rank_csv",

@@ -1,4 +1,4 @@
-"""Bounded-memory batch scoring of fitted RPC models.
+"""Bounded-memory batch scoring of any fitted ScorableModel.
 
 Scoring is embarrassingly parallel across objects, but the vectorised
 projection step materialises an ``(n, n_grid)`` distance matrix plus a
@@ -12,7 +12,12 @@ preallocated output vector.
 Chunking never changes the answer: every object's projection is an
 independent 1-D solve, and the scores are polished to their basin's
 exact stationary point (see :mod:`repro.core.projection`), so chunked
-and unchunked runs agree to float precision.
+and unchunked runs agree to float precision.  The same holds for every
+*pointwise* family (``model.pointwise_scores`` true): a row's score
+depends only on that row.  Batch-relative families (the rank
+aggregators, whose score is a row's position among the rows it arrived
+with) are scored in a single call instead — chunking them would change
+the answer, so it is never done.
 
 Because chunks are independent, they can also be dispatched
 concurrently: ``score_batch(..., n_jobs=4)`` fans the chunks out over a
@@ -48,7 +53,7 @@ from typing import Iterator, Optional, Tuple
 import numpy as np
 
 from repro.core.exceptions import ConfigurationError
-from repro.core.rpc import RankingPrincipalCurve
+from repro.core.model_api import ScorableModel
 from repro.obs import engineprof
 
 #: Default rows per projection chunk — a few MB of temporaries at the
@@ -81,8 +86,26 @@ def _validate_n_jobs(n_jobs: Optional[int]) -> int:
     return n_jobs
 
 
+def _chunk_scorer(model, backend, dtype):
+    """Per-chunk scoring callable for ``model``.
+
+    Only the Bézier family takes the engine ``backend=``/``dtype=``
+    keywords (``model.accepts_solver_kwargs``); every other family is
+    called with the plain one-argument signature, which keeps the
+    Bézier hot path byte-identical while letting any ScorableModel
+    flow through the same chunk loop.
+    """
+    if getattr(model, "accepts_solver_kwargs", False):
+        return lambda chunk: model.score_samples(
+            chunk, backend=backend, dtype=dtype
+        )
+    return lambda chunk: np.asarray(
+        model.score_samples(chunk), dtype=float
+    )
+
+
 def iter_score_chunks(
-    model: RankingPrincipalCurve,
+    model: ScorableModel,
     X: np.ndarray,
     chunk_size: Optional[int] = None,
     backend=None,
@@ -93,7 +116,8 @@ def iter_score_chunks(
     Parameters
     ----------
     model:
-        A fitted :class:`RankingPrincipalCurve`.
+        A fitted :class:`~repro.core.model_api.ScorableModel` of any
+        family.
     X:
         Raw (unnormalised) observations, shape ``(n, d)``.  An empty
         input (``n == 0``) yields nothing; anything other than a 2-D
@@ -101,10 +125,13 @@ def iter_score_chunks(
         ``score_samples``.
     chunk_size:
         Rows per chunk; ``None`` uses :data:`DEFAULT_CHUNK_SIZE`.
+        Batch-relative families (``model.pointwise_scores`` false)
+        ignore it and yield one chunk covering all of ``X``.
     backend, dtype:
         Optional kernel backend and scoring work dtype, resolved and
         validated up front (before any chunk is scored) and applied to
-        every chunk; see :mod:`repro.linalg.backend`.
+        every chunk; see :mod:`repro.linalg.backend`.  Ignored by
+        families without engine backends.
 
     Yields
     ------
@@ -118,11 +145,15 @@ def iter_score_chunks(
         raise ConfigurationError(
             f"X must be 2-D (objects x attributes), got ndim={X.ndim}"
         )
+    score = _chunk_scorer(model, backend, dtype)
+    if not getattr(model, "pointwise_scores", True):
+        # Batch-relative scores: one chunk, positions intact.
+        if X.shape[0]:
+            yield 0, X.shape[0], score(X)
+        return
     for start in range(0, X.shape[0], chunk_size):
         stop = min(start + chunk_size, X.shape[0])
-        yield start, stop, model.score_samples(
-            X[start:stop], backend=backend, dtype=dtype
-        )
+        yield start, stop, score(X[start:stop])
 
 
 def _resolve_backend_dtype(backend, dtype):
@@ -142,7 +173,7 @@ def _resolve_backend_dtype(backend, dtype):
 
 
 def score_batch(
-    model: RankingPrincipalCurve,
+    model: ScorableModel,
     X: np.ndarray,
     chunk_size: Optional[int] = None,
     n_jobs: Optional[int] = None,
@@ -152,13 +183,15 @@ def score_batch(
     """Score every row of ``X`` with bounded peak memory.
 
     Equivalent to ``model.score_samples(X)`` but processed
-    ``chunk_size`` rows at a time.  Returns scores in ``[0, 1]``,
-    shape ``(n,)``, aligned with the rows of ``X``.
+    ``chunk_size`` rows at a time.  Returns scores of shape ``(n,)``,
+    aligned with the rows of ``X``.
 
     Parameters
     ----------
     model:
-        A fitted :class:`RankingPrincipalCurve`.
+        A fitted :class:`~repro.core.model_api.ScorableModel` of any
+        family.  Batch-relative families are scored in one call
+        (``chunk_size``/``n_jobs`` are ignored — see module docs).
     X:
         Raw (unnormalised) observations, shape ``(n, d)``.
     chunk_size:
@@ -184,6 +217,8 @@ def score_batch(
     n_jobs = _validate_n_jobs(n_jobs)
     backend, dtype = _resolve_backend_dtype(backend, dtype)
     out = np.empty(X.shape[0])
+    if not getattr(model, "pointwise_scores", True):
+        n_jobs = 1  # one whole-input chunk; nothing to fan out
     if n_jobs == 1:
         for start, stop, scores in iter_score_chunks(
             model, X, chunk_size, backend=backend, dtype=dtype
@@ -205,18 +240,15 @@ def score_batch(
     # uncounted; the profile accumulates under a lock, so concurrent
     # spans feeding one profile stay exact.
     profile = engineprof.current()
+    score = _chunk_scorer(model, backend, dtype)
 
     def _score_span(span: Tuple[int, int]) -> None:
         start, stop = span
         if profile is None:
-            out[start:stop] = model.score_samples(
-                X[start:stop], backend=backend, dtype=dtype
-            )
+            out[start:stop] = score(X[start:stop])
         else:
             with engineprof.activate(profile):
-                out[start:stop] = model.score_samples(
-                    X[start:stop], backend=backend, dtype=dtype
-                )
+                out[start:stop] = score(X[start:stop])
 
     with ThreadPoolExecutor(
         max_workers=min(n_jobs, len(spans))

@@ -1,22 +1,38 @@
-"""Model persistence: exact save/load of fitted RPC models.
+"""Model persistence: exact save/load of any ScorableModel family.
 
-Two on-disk formats are supported, selected by file suffix:
+Three on-disk layouts are supported, selected by the path:
 
 ``.json``
-    The :meth:`RankingPrincipalCurve.to_dict` payload serialised with
-    the standard library.  Human-readable and diff-able; floats are
-    written with ``repr`` (shortest round-trip), so reloading is exact
-    to the last bit.
+    The model's :meth:`to_payload` dict serialised with the standard
+    library.  Human-readable and diff-able; floats are written with
+    ``repr`` (shortest round-trip), so reloading is exact to the last
+    bit.
 
 ``.npz``
-    The same payload with every numeric array stored as a binary NumPy
-    array and the scalar remainder as a JSON header.  Compact and
-    fast for models with long optimisation traces or many training
-    scores.
+    The same payload with the family's array-valued fields stored as
+    binary NumPy arrays and the scalar remainder as a JSON header.
+    Compact and fast for models with long optimisation traces, many
+    training scores, or stored training matrices.
 
-Both formats satisfy the golden-round-trip property asserted in
-``tests/test_serving.py``: ``load_model(save_model(m, path))`` scores
-any input bit-identically to ``m``.
+manifest directory
+    A directory (any path without a ``.json``/``.npz`` suffix, or a
+    path ending in ``manifest.json``) holding a versioned
+    ``manifest.json`` that names the family, its ``format_version``
+    and one-or-more artifact shards: a ``payload.json`` scalar shard
+    plus, when the family has array state, a binary ``arrays.npz``
+    shard.  The manifest is written last so a hot-reloading registry
+    watching its mtime never observes a half-written model.
+
+Which class a payload rebuilds into is dispatched through
+:mod:`repro.families`: payloads and manifests carry a ``family`` key,
+and payloads written before the family registry existed (the v1
+single-file era) resolve to the Bézier ``"rpc"`` family via their
+legacy ``type`` key — every old file keeps loading unchanged.
+
+All layouts satisfy the golden-round-trip property asserted in
+``tests/test_serving.py`` and ``tests/test_families.py``:
+``load_model(save_model(m, path))`` scores any input bit-identically
+to ``m``.
 
 Usage
 -----
@@ -25,6 +41,7 @@ Usage
 >>> served = load_model("model.json")
 >>> served.feature_names_
 ['GDP', 'LEB']
+>>> save_model(curve_adapter, "models/elmap")  # manifest directory
 """
 
 from __future__ import annotations
@@ -36,18 +53,15 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.exceptions import ConfigurationError
-from repro.core.rpc import RankingPrincipalCurve
+from repro.core.model_api import ScorableModel
+from repro.families import Family, family_names, resolve_payload_family
 
-#: Nested payload locations of the array-valued fields, keyed by the
-#: flat name each one gets inside an ``.npz`` archive.
-_NPZ_ARRAYS = {
-    "control_points": ("fitted", "curve", "control_points"),
-    "data_min": ("fitted", "normalizer", "data_min"),
-    "data_max": ("fitted", "normalizer", "data_max"),
-    "training_scores": ("fitted", "training_scores"),
-    "objectives": ("fitted", "trace", "objectives"),
-    "step_sizes": ("fitted", "trace", "step_sizes"),
-}
+#: Basename of the manifest descriptor inside a manifest directory.
+MANIFEST_NAME = "manifest.json"
+#: Version of the manifest layout itself (not of any family payload).
+MANIFEST_VERSION = 1
+
+_SINGLE_FILE_SUFFIXES = (".json", ".npz")
 
 
 def _get_nested(payload: dict, path: tuple) -> object:
@@ -66,45 +80,101 @@ def _set_nested(payload: dict, path: tuple, value: object) -> None:
     node[path[-1]] = value
 
 
+def is_manifest_path(path: str | pathlib.Path) -> bool:
+    """Whether ``path`` selects the manifest layout (see module docs)."""
+    path = pathlib.Path(path)
+    if path.name == MANIFEST_NAME:
+        return True
+    if path.suffix in _SINGLE_FILE_SUFFIXES:
+        return False
+    return path.is_dir() or path.suffix == ""
+
+
 def check_model_path(path: str | pathlib.Path) -> pathlib.Path:
-    """Validate that ``path`` has a supported model suffix.
+    """Validate that ``path`` selects a supported model layout.
 
     Raises :class:`ConfigurationError` otherwise.  Callers that do
     expensive work before saving (e.g. the CLI's ``save`` command,
     which fits first) use this to fail fast.
     """
     path = pathlib.Path(path)
-    if path.suffix not in (".json", ".npz"):
-        raise ConfigurationError(
-            f"unknown model format {path.suffix!r}; use '.json' or '.npz'"
-        )
-    return path
+    if path.suffix in _SINGLE_FILE_SUFFIXES or is_manifest_path(path):
+        return path
+    raise ConfigurationError(
+        f"unknown model format {path.suffix!r}; use '.json', '.npz', "
+        "or a manifest directory (no suffix)"
+    )
 
 
-def dumps_model(model: RankingPrincipalCurve) -> str:
+def model_mtime_ns(path: str | pathlib.Path) -> int:
+    """The mtime the hot-reload registry should watch for ``path``.
+
+    For single-file layouts this is the file itself; for a manifest
+    directory it is the ``manifest.json`` descriptor — overwriting a
+    shard in place does not move the directory's own mtime, but the
+    save path always rewrites the manifest last.
+    """
+    path = pathlib.Path(path)
+    if is_manifest_path(path):
+        if path.name != MANIFEST_NAME:
+            path = path / MANIFEST_NAME
+    return path.stat().st_mtime_ns
+
+
+def dumps_model(model: ScorableModel) -> str:
     """Serialise a model to a JSON string (see :func:`save_model`)."""
-    return json.dumps(model.to_dict(), indent=2)
+    return json.dumps(model.to_payload(), indent=2)
 
 
-def loads_model(text: str) -> RankingPrincipalCurve:
+def loads_model(text: str) -> ScorableModel:
     """Inverse of :func:`dumps_model`."""
-    return RankingPrincipalCurve.from_dict(json.loads(text))
+    return _model_from_payload(json.loads(text), source="<string>")
+
+
+def _check_format_version(
+    family: Family, payload: dict, source: str
+) -> None:
+    version = payload.get("format_version")
+    if version != family.format_version:
+        raise ConfigurationError(
+            f"{source}: unsupported model format version {version!r} "
+            f"for family {family.name!r}; supported format version(s): "
+            f"[{family.format_version}]"
+        )
+
+
+def _model_from_payload(payload: dict, source: str) -> ScorableModel:
+    """Family-dispatching payload rebuild with ``source`` context.
+
+    The error contract (pinned by regression test): an unknown
+    ``family`` or unrecognised ``format_version`` raises
+    :class:`ConfigurationError` naming the offending file, the value,
+    and the supported set.
+    """
+    try:
+        family = resolve_payload_family(payload)
+    except ConfigurationError as exc:
+        raise ConfigurationError(f"{source}: {exc}") from None
+    _check_format_version(family, payload, source)
+    return family.cls.from_payload(payload)
 
 
 def save_model(
-    model: RankingPrincipalCurve,
+    model: ScorableModel,
     path: str | pathlib.Path,
     feature_names: Optional[Sequence[str]] = None,
 ) -> pathlib.Path:
-    """Persist a (fitted or unfitted) model to ``path``.
+    """Persist a (fitted or unfitted) model of any family to ``path``.
 
     Parameters
     ----------
     model:
-        The estimator to save.
+        The estimator to save (anything satisfying the
+        :class:`~repro.core.model_api.ScorableModel` contract).
     path:
-        Destination file; the suffix picks the format (``.json`` or
-        ``.npz``).
+        Destination; a ``.json`` or ``.npz`` suffix picks the
+        single-file format, anything else is written as a manifest
+        directory.
     feature_names:
         Optional attribute names to store with the model (e.g. the CSV
         headers it was fitted on), overriding any names already on the
@@ -117,35 +187,161 @@ def save_model(
     The resolved path written to.
     """
     path = check_model_path(path)
-    payload = model.to_dict()
+    if is_manifest_path(path):
+        return save_manifest(model, path, feature_names=feature_names)
+    payload = model.to_payload()
     if feature_names is not None:
         payload["feature_names"] = [str(name) for name in feature_names]
     if path.suffix == ".json":
         path.write_text(json.dumps(payload, indent=2) + "\n")
     else:
-        arrays = {}
-        for name, nested in _NPZ_ARRAYS.items():
-            value = _get_nested(payload, nested)
-            if value is not None:
-                arrays[name] = np.asarray(value, dtype=float)
-                _set_nested(payload, nested, None)
+        family = resolve_payload_family(payload)
+        arrays = _extract_arrays(payload, family)
         np.savez(path, header=np.array(json.dumps(payload)), **arrays)
     return path
 
 
-def load_model(path: str | pathlib.Path) -> RankingPrincipalCurve:
+def load_model(path: str | pathlib.Path) -> ScorableModel:
     """Reload a model saved by :func:`save_model`.
 
     The returned estimator scores inputs bit-identically to the model
-    that was saved (both formats preserve every float exactly).
+    that was saved (every layout preserves every float exactly).
     """
     path = check_model_path(path)
+    if is_manifest_path(path):
+        return load_manifest(path)
     if path.suffix == ".json":
         payload = json.loads(path.read_text())
-    else:
-        with np.load(path, allow_pickle=False) as archive:
-            payload = json.loads(str(archive["header"][()]))
-            for name, nested in _NPZ_ARRAYS.items():
-                if name in archive.files:
-                    _set_nested(payload, nested, archive[name].tolist())
-    return RankingPrincipalCurve.from_dict(payload)
+        return _model_from_payload(payload, source=str(path))
+    with np.load(path, allow_pickle=False) as archive:
+        payload = json.loads(str(archive["header"][()]))
+        try:
+            family = resolve_payload_family(payload)
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"{path}: {exc}") from None
+        for name, nested in family.array_fields.items():
+            if name in archive.files:
+                _set_nested(payload, nested, archive[name].tolist())
+    _check_format_version(family, payload, source=str(path))
+    return family.cls.from_payload(payload)
+
+
+def _extract_arrays(payload: dict, family: Family) -> dict:
+    """Pull the family's array fields out of ``payload`` (nulling them
+    in place) for binary storage."""
+    arrays = {}
+    for name, nested in family.array_fields.items():
+        value = _get_nested(payload, nested)
+        if value is not None:
+            arrays[name] = np.asarray(value, dtype=float)
+            _set_nested(payload, nested, None)
+    return arrays
+
+
+def save_manifest(
+    model: ScorableModel,
+    directory: str | pathlib.Path,
+    feature_names: Optional[Sequence[str]] = None,
+) -> pathlib.Path:
+    """Write ``model`` as a versioned manifest directory.
+
+    Layout: ``payload.json`` (scalar shard), ``arrays.npz`` (binary
+    shard, present only when the family has array-valued state), and
+    ``manifest.json`` naming the family, its ``format_version`` and
+    the shard list.  The manifest is written last: a registry watching
+    its mtime republishes only after every shard is on disk.
+    """
+    directory = pathlib.Path(directory)
+    if directory.name == MANIFEST_NAME:
+        directory = directory.parent
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = model.to_payload()
+    if feature_names is not None:
+        payload["feature_names"] = [str(name) for name in feature_names]
+    family = resolve_payload_family(payload)
+    arrays = _extract_arrays(payload, family)
+    shards = [{"path": "payload.json", "role": "payload"}]
+    (directory / "payload.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    if arrays:
+        np.savez(directory / "arrays.npz", **arrays)
+        shards.append({"path": "arrays.npz", "role": "arrays"})
+    manifest = {
+        "manifest_version": MANIFEST_VERSION,
+        "family": family.name,
+        "format_version": payload.get("format_version"),
+        "shards": shards,
+    }
+    (directory / MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2) + "\n"
+    )
+    return directory
+
+
+def load_manifest(path: str | pathlib.Path) -> ScorableModel:
+    """Reload a model from a manifest directory (or its
+    ``manifest.json`` descriptor)."""
+    directory = pathlib.Path(path)
+    if directory.name == MANIFEST_NAME:
+        directory = directory.parent
+    manifest_file = directory / MANIFEST_NAME
+    if not manifest_file.is_file():
+        raise ConfigurationError(
+            f"{directory}: not a model manifest (no {MANIFEST_NAME})"
+        )
+    manifest = json.loads(manifest_file.read_text())
+    manifest_version = manifest.get("manifest_version")
+    if manifest_version != MANIFEST_VERSION:
+        raise ConfigurationError(
+            f"{manifest_file}: unsupported manifest_version "
+            f"{manifest_version!r}; supported: [{MANIFEST_VERSION}]"
+        )
+    name = manifest.get("family")
+    try:
+        family = resolve_payload_family({"family": name})
+    except ConfigurationError as exc:
+        raise ConfigurationError(f"{manifest_file}: {exc}") from None
+    payload: Optional[dict] = None
+    arrays: dict = {}
+    for shard in manifest.get("shards", []):
+        shard_path = directory / shard["path"]
+        if not shard_path.is_file():
+            raise ConfigurationError(
+                f"{manifest_file}: missing shard {shard['path']!r}"
+            )
+        if shard.get("role") == "payload":
+            payload = json.loads(shard_path.read_text())
+        elif shard.get("role") == "arrays":
+            with np.load(shard_path, allow_pickle=False) as archive:
+                arrays = {
+                    key: archive[key].tolist() for key in archive.files
+                }
+    if payload is None:
+        raise ConfigurationError(
+            f"{manifest_file}: manifest lists no payload shard"
+        )
+    for key, value in arrays.items():
+        nested = family.array_fields.get(key)
+        if nested is not None:
+            _set_nested(payload, nested, value)
+    _check_format_version(family, payload, source=str(manifest_file))
+    return family.cls.from_payload(payload)
+
+
+# Re-exported for callers that want the registry's vocabulary from the
+# persistence module they already import.
+__all__ = [
+    "MANIFEST_NAME",
+    "MANIFEST_VERSION",
+    "check_model_path",
+    "dumps_model",
+    "family_names",
+    "is_manifest_path",
+    "load_manifest",
+    "load_model",
+    "loads_model",
+    "model_mtime_ns",
+    "save_manifest",
+    "save_model",
+]

@@ -222,9 +222,10 @@ def iter_stream_scores(
         attribute_columns=model.feature_names_,
         delimiter=delimiter,
     ):
-        if chunk.X.shape[1] != model.alpha.size:
+        expected = model.n_attributes
+        if expected is not None and chunk.X.shape[1] != expected:
             raise DataValidationError(
-                f"model expects {model.alpha.size} attributes but "
+                f"model expects {expected} attributes but "
                 f"{path} provides {chunk.X.shape[1]}"
             )
         yield chunk.labels, score_batch(
