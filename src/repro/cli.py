@@ -46,6 +46,7 @@ paying a process start per scoring run.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import warnings
 from typing import Optional, Sequence
@@ -415,6 +416,105 @@ def build_parser() -> argparse.ArgumentParser:
         help="working precision for the projection solve; 'float32' "
         "halves memory bandwidth at ~1e-3 score tolerance (responses "
         "stay float64; default 'float64')",
+    )
+
+    shard = sub.add_parser(
+        "shard",
+        help="coordinate a score/rank job across shard daemons",
+        epilog="sharded serving guide (topology, consistent-hash "
+        "partitioning, shard-death reroute and exactly-once semantics, "
+        "coordinator metrics roll-up): docs/ops.md, section "
+        "'Sharded scoring and rank'",
+    )
+    shard.add_argument(
+        "csv_path", help="CSV (or .csv.gz) of objects to score or rank"
+    )
+    shard.add_argument(
+        "--shard",
+        action="append",
+        default=None,
+        metavar="URL",
+        dest="shards",
+        help="base URL of a shard daemon, e.g. http://host:8000 "
+        "(repeatable; every shard must serve --model-name)",
+    )
+    shard.add_argument(
+        "--local-workers",
+        type=int,
+        default=0,
+        dest="local_workers",
+        metavar="N",
+        help="instead of --shard URLs, spawn N throwaway local shard "
+        "daemons serving --model-path on ephemeral ports (testing/CI "
+        "topology; they are torn down when the job ends)",
+    )
+    shard.add_argument(
+        "--model-name",
+        default="shard-model",
+        dest="model_name",
+        help="registered model name to score with on every shard "
+        "(default 'shard-model', which is what --local-workers "
+        "registers)",
+    )
+    shard.add_argument(
+        "--model-path",
+        default=None,
+        dest="model_path",
+        help="saved model the --local-workers daemons serve "
+        "(required with --local-workers, ignored with --shard)",
+    )
+    shard.add_argument(
+        "--mode",
+        choices=("rank", "score"),
+        default="rank",
+        help="'rank' (default) writes the complete ranking CSV, "
+        "byte-identical to the single-box streaming rank; 'score' "
+        "writes label,score rows in input order, byte-identical to "
+        "'repro score --stream'",
+    )
+    shard.add_argument(
+        "--output", default=None, help="write the result CSV here"
+    )
+    shard.add_argument(
+        "--rows-per-block",
+        type=int,
+        default=None,
+        dest="rows_per_block",
+        metavar="N",
+        help="rows per shard block — the retry/exactly-once unit "
+        "(default 16384; keep it a multiple of the daemons' "
+        "--chunk-size so chunk boundaries match a single box)",
+    )
+    shard.add_argument("--label-column", default=None)
+    shard.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-block shard request timeout before the shard is "
+        "presumed dead and the block reroutes (default 60)",
+    )
+    shard.add_argument(
+        "--max-open-runs",
+        type=int,
+        default=None,
+        dest="max_open_runs",
+        metavar="N",
+        help="merge fan-in budget for the coordinator's k-way merge "
+        "(default 64; more blocks than this triggers multi-pass "
+        "merging)",
+    )
+    shard.add_argument(
+        "--top", type=int, default=10, help="rows to print (default 10)"
+    )
+    shard.add_argument(
+        "--metrics-json",
+        default=None,
+        dest="metrics_json",
+        metavar="PATH",
+        help="after the job, fetch every live shard's /metrics and "
+        "write the exact coordinator-level roll-up (summed counters, "
+        "merged latency histograms) as JSON to PATH",
     )
     return parser
 
@@ -827,6 +927,97 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_shard(args: argparse.Namespace) -> int:
+    from repro.sharding import (
+        LocalShardFleet,
+        ShardCoordinator,
+        fetch_shard_metrics,
+        rollup_metrics,
+    )
+
+    if bool(args.shards) == bool(args.local_workers > 0):
+        raise ConfigurationError(
+            "give either --shard URLs or --local-workers N (not both)"
+        )
+    if args.mode == "score" and args.output is None:
+        raise ConfigurationError("--mode score requires --output")
+
+    def _run_job(urls: Sequence[str]) -> int:
+        coordinator = ShardCoordinator(
+            urls,
+            args.model_name,
+            **{
+                key: value
+                for key, value in {
+                    "rows_per_block": args.rows_per_block,
+                    "timeout": args.timeout,
+                }.items()
+                if value is not None
+            },
+            max_open_runs=args.max_open_runs,
+        )
+        if args.mode == "score":
+            n_rows = coordinator.score_csv(
+                args.csv_path, args.output, label_column=args.label_column
+            )
+            print(
+                f"scored {n_rows} objects across "
+                f"{len(coordinator.stats()['live_shards'])} shard(s)"
+            )
+            print(f"scores written to {args.output}")
+        else:
+            n_rows, head = coordinator.rank_csv(
+                args.csv_path,
+                args.output,
+                label_column=args.label_column,
+                head=max(args.top, 0),
+            )
+            print(
+                f"ranked {n_rows} objects across "
+                f"{len(coordinator.stats()['live_shards'])} shard(s)"
+            )
+            print(f"{'pos':>4}  {'score':>8}  label")
+            for position, (label, score) in enumerate(head, start=1):
+                print(f"{position:>4}  {score:>8.4f}  {label}")
+            if args.output:
+                print(f"full ranking written to {args.output}")
+        stats = coordinator.stats()
+        print(
+            f"blocks: {stats['n_blocks']} "
+            f"(rerouted {stats['retried_blocks']}); "
+            f"dead shards: {stats['dead_shards'] or 'none'}"
+        )
+        if args.metrics_json is not None:
+            payloads = [
+                fetch_shard_metrics(url)
+                for url in stats["live_shards"]
+            ]
+            rollup = rollup_metrics(payloads, urls=stats["live_shards"])
+            with open(args.metrics_json, "w") as handle:
+                json.dump(rollup, handle, indent=2, sort_keys=True)
+            print(f"coordinator metrics roll-up written to "
+                  f"{args.metrics_json}")
+        return 0
+
+    if args.local_workers:
+        if args.model_path is None:
+            raise ConfigurationError(
+                "--local-workers needs --model-path (the model the "
+                "throwaway daemons will serve)"
+            )
+        with LocalShardFleet(
+            args.model_path,
+            n_shards=args.local_workers,
+            model_name=args.model_name,
+        ) as fleet:
+            print(
+                f"spawned {len(fleet.urls)} local shard daemon(s): "
+                f"{' '.join(fleet.urls)}"
+            )
+            return _run_job(fleet.urls)
+    return _run_job(args.shards)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -838,6 +1029,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "load": _run_load,
         "score": _run_score,
         "serve": _run_serve,
+        "shard": _run_shard,
     }
     try:
         return handlers[args.command](args)

@@ -29,6 +29,16 @@ Endpoints
 ``POST /v1/models/<name>/rank``
     Like ``score`` with optional ``"labels"``; returns the full
     ranking list, best first.
+``POST /v1/models/<name>/rank-shard``
+    Distributed-rank worker half (see :mod:`repro.sharding`): body
+    ``{"rows": [[..], ..], "labels": [..], "row_offset": N}`` scores
+    one contiguous block of a larger job and returns the block sorted
+    in the :mod:`repro.serving.extsort` run-file format
+    (``application/octet-stream``), with global row indices offset by
+    ``row_offset`` so runs from disjoint blocks k-way merge into
+    exactly the single-box ranking.  Families whose scores are
+    batch-relative (``pointwise_scores = False``) are refused with
+    ``422`` — splitting their batches would change the scores.
 
 Error contract: malformed JSON or a body of the wrong shape is ``400``;
 an unregistered model name is ``404``; structurally valid input the
@@ -80,7 +90,11 @@ from repro.core.scoring import build_ranking_list
 from repro.linalg.backend import resolve_backend, resolve_score_dtype
 from repro.obs import engineprof
 from repro.obs.engineprof import EngineProfile
-from repro.obs.histogram import BATCH_FILL_BUCKETS, LATENCY_BUCKET_BOUNDS
+from repro.obs.histogram import (
+    BATCH_FILL_BUCKETS,
+    HISTOGRAM_FORMAT_VERSION,
+    LATENCY_BUCKET_BOUNDS,
+)
 from repro.obs.prometheus import MetricFamily, render_exposition
 from repro.obs.trace import NULL_TRACE, Tracer
 from repro.server.admission import (
@@ -98,9 +112,10 @@ from repro.serving.batch import (
     _validate_n_jobs,
     score_batch,
 )
+from repro.serving.extsort import pack_run_bytes
 
-#: ``/v1/models/<name>/score`` and ``/v1/models/<name>/rank``.
-_MODEL_ROUTE = re.compile(r"^/v1/models/([^/]+)/(score|rank)$")
+#: ``/v1/models/<name>/score``, ``.../rank`` and ``.../rank-shard``.
+_MODEL_ROUTE = re.compile(r"^/v1/models/([^/]+)/(score|rank-shard|rank)$")
 
 #: ``/v1/models/<name>`` — one registry entry's description.
 _MODEL_INFO_ROUTE = re.compile(r"^/v1/models/([^/]+)$")
@@ -141,6 +156,14 @@ class _PlainText(str):
     record-then-respond path."""
 
     content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _RunBytes(bytes):
+    """Marker type: a handler payload sent verbatim as binary — how a
+    shard's sorted run file travels through ``_handle``'s common
+    record-then-respond path."""
+
+    content_type = "application/octet-stream"
 
 
 class _RequestError(Exception):
@@ -634,6 +657,7 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
         snapshot["engine"] = self._engine_json()
         snapshot["families"] = self.server.metrics.families()
         snapshot["registry"] = self.server.registry.stats()
+        snapshot["latency_histograms"] = self._latency_histograms_json()
         if self.server.tracer is not None:
             snapshot["tracer"] = self.server.tracer.stats()
         return 200, snapshot, 0
@@ -661,6 +685,34 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
         out["backend"] = self.server.backend_name
         out["score_dtype"] = self.server.score_dtype_name
         return out
+
+    def _latency_histograms_json(self) -> dict:
+        """Exact per-endpoint latency buckets (additive /metrics key).
+
+        The raw fixed log-spaced bucket counts plus the sum of
+        observed seconds — the same cells the Prometheus exposition
+        renders.  Bucket counts are plain sums, so a shard coordinator
+        can roll up a fleet of daemons *exactly* (sum the buckets,
+        recompute percentiles) instead of averaging percentiles, which
+        is how :mod:`repro.sharding.rollup` builds the coordinator
+        ``/metrics`` view.  Fleet-wide when a shared store is attached
+        (``--workers N``), this worker's otherwise.
+        """
+        reader = self.server.metrics_reader
+        if reader is None:
+            pairs = self.server.metrics.histograms()
+        else:
+            pairs = reader.merged_histograms()
+        return {
+            "format_version": HISTOGRAM_FORMAT_VERSION,
+            "endpoints": {
+                endpoint: {
+                    "buckets": [int(count) for count in counts],
+                    "sum_seconds": float(sum_seconds),
+                }
+                for endpoint, (counts, sum_seconds) in sorted(pairs.items())
+            },
+        }
 
     def _wants_prometheus(self) -> bool:
         """Content negotiation for ``/metrics``: an explicit
@@ -755,6 +807,25 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
 
         with trace.span("validate"):
             X, single, labels = self._parse_scoring_body(body, action)
+            row_offset = 0
+            if action == "rank-shard":
+                if single:
+                    raise _RequestError(
+                        400, "rank-shard requires 'rows' (a block), not 'row'"
+                    )
+                row_offset = self._parse_row_offset(body)
+                if not getattr(model, "pointwise_scores", True):
+                    # Batch-relative families (rank aggregators) score a
+                    # row against the whole batch; scoring a shard's
+                    # slice would silently change every score, so the
+                    # coordinator must keep these single-box.
+                    raise _RequestError(
+                        422,
+                        f"model {name!r} "
+                        f"(family {getattr(model, 'family', '?')}) scores "
+                        f"batch-relatively (pointwise_scores=False) and "
+                        f"cannot be sharded",
+                    )
         if X.shape[0] == 0 and not model.is_fitted:
             # An empty batch skips score_batch (nothing to score), but
             # the documented taxonomy still promises 409 for unfitted
@@ -775,6 +846,16 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
             if single:
                 payload["score"] = float(scores[0])
             return 200, payload, n
+        if action == "rank-shard":
+            # Ship the block back already sorted, as one extsort run
+            # file with *global* row indices: the coordinator adopts
+            # the bytes verbatim and k-way merges runs from every
+            # shard into exactly the ranking one box would produce
+            # (same rank_entry_key tie-break end to end).
+            if labels is None:
+                labels = [str(row_offset + idx) for idx in range(n)]
+            run = pack_run_bytes(labels, scores, base_row=row_offset)
+            return 200, _RunBytes(run), n
         ranking = build_ranking_list(scores, labels=labels)
         entries = [
             {
@@ -812,14 +893,31 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
             raise _RequestError(
                 413, f"body of {n_bytes} bytes exceeds {MAX_BODY_BYTES}"
             )
-        # Bound the *whole* body read by the keep-alive timeout, not
-        # just each recv: a client dripping one chunk every few
-        # seconds would otherwise evade the per-recv socket timeout
-        # and pin this handler thread (and any graceful drain, which
-        # deliberately never cuts an in-request connection) for as
-        # long as it pleases.  On timeout the client gets a definite
-        # 408 and the connection closes — responding and then reusing
-        # a half-read connection would desync keep-alive framing.
+        raw = self._read_body_bytes(n_bytes)
+        try:
+            body = json.loads(raw)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _RequestError(400, f"malformed JSON body: {exc}") from None
+        if not isinstance(body, dict):
+            raise _RequestError(
+                400, "body must be a JSON object with 'row' or 'rows'"
+            )
+        return body
+
+    def _read_body_bytes(self, n_bytes: int) -> bytes:
+        """Read exactly ``n_bytes`` of body under the whole-body deadline.
+
+        Bounds the *whole* read by the keep-alive timeout, not just
+        each recv: a client dripping one chunk every few seconds would
+        otherwise evade the per-recv socket timeout and pin this
+        handler thread (and any graceful drain, which deliberately
+        never cuts an in-request connection) for as long as it
+        pleases.  On timeout the client gets a definite 408 and the
+        connection closes — responding and then reusing a half-read
+        connection would desync keep-alive framing.  A client that
+        closes early returns the short read (callers decide: JSON
+        parsing 400s, the drain path closes the connection).
+        """
         deadline = time.monotonic() + self.server.keepalive_timeout
         parts = []
         remaining = n_bytes
@@ -831,7 +929,7 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
                 self.connection.settimeout(budget)
                 chunk = self.rfile.read(min(remaining, 1 << 16))
                 if not chunk:
-                    break  # client closed early; JSON parsing will 400
+                    break  # client closed early
                 parts.append(chunk)
                 remaining -= len(chunk)
         except TimeoutError:
@@ -843,16 +941,18 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
             ) from None
         finally:
             self.connection.settimeout(self.server.keepalive_timeout)
-        raw = b"".join(parts)
-        try:
-            body = json.loads(raw)
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            raise _RequestError(400, f"malformed JSON body: {exc}") from None
-        if not isinstance(body, dict):
+        return b"".join(parts)
+
+    @staticmethod
+    def _parse_row_offset(body: dict) -> int:
+        """The shard block's global index of row 0 (``row_offset``)."""
+        value = body.get("row_offset", 0)
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
             raise _RequestError(
-                400, "body must be a JSON object with 'row' or 'rows'"
+                400, f"'row_offset' must be a non-negative integer, "
+                f"got {value!r}"
             )
-        return body
+        return value
 
     @staticmethod
     def _parse_scoring_body(
@@ -889,9 +989,9 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
             )
         labels = body.get("labels")
         if labels is not None:
-            if action != "rank":
+            if action not in ("rank", "rank-shard"):
                 raise _RequestError(
-                    400, "'labels' is only accepted by the rank endpoint"
+                    400, "'labels' is only accepted by the rank endpoints"
                 )
             if not isinstance(labels, list) or len(labels) != X.shape[0]:
                 raise _RequestError(
@@ -937,6 +1037,9 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
             if isinstance(payload, _PlainText):
                 body = str(payload).encode("utf-8")
                 content_type = _PlainText.content_type
+            elif isinstance(payload, _RunBytes):
+                body = bytes(payload)
+                content_type = _RunBytes.content_type
             else:
                 body = json.dumps(payload).encode("utf-8")
                 content_type = "application/json"
@@ -952,13 +1055,31 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
         self._send_body(status, body, content_type, headers)
 
     def _drain_body(self) -> None:
-        """Consume an unrouted request's body so keep-alive stays sane."""
+        """Consume an unrouted request's body so keep-alive stays sane.
+
+        Two hazards live here, both once-shipped bugs.  First, the
+        drain must run under the same whole-body deadline as
+        :meth:`_read_json_body` — a client POSTing to an unrouted path
+        and dripping bytes would otherwise pin this handler thread
+        indefinitely (the 408 from :meth:`_read_body_bytes` propagates
+        to the client and closes the connection).  Second, whenever the
+        body is *not* fully consumed — unparseable or negative
+        ``Content-Length``, a body beyond :data:`MAX_BODY_BYTES` that
+        is deliberately never read, or a client that hung up early —
+        the connection must close: answering and then reusing the
+        socket would hand the undrained body bytes to the keep-alive
+        parser as the next request line (framing desync).
+        """
         try:
             n_bytes = int(self.headers.get("Content-Length") or 0)
         except ValueError:
+            self.close_connection = True
             return
-        if 0 < n_bytes <= MAX_BODY_BYTES:
-            self.rfile.read(n_bytes)
+        if n_bytes < 0 or n_bytes > MAX_BODY_BYTES:
+            self.close_connection = True
+            return
+        if n_bytes and len(self._read_body_bytes(n_bytes)) != n_bytes:
+            self.close_connection = True
 
     def _send_json(
         self, status: int, payload: dict, headers: Optional[dict] = None

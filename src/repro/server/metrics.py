@@ -79,6 +79,7 @@ SHARED_ENDPOINTS = (
     "GET /v1/models",
     "POST /v1/models/{name}/score",
     "POST /v1/models/{name}/rank",
+    "POST /v1/models/{name}/rank-shard",
     "GET /v1/debug/trace/{id}",
     "GET (scoring route)",
     "GET (unrouted)",
@@ -114,12 +115,14 @@ ENGINE_CELL_KEYS = (
 
 #: Layout version of the shared store.  Version 2 replaced the PR 5
 #: latency sample rings with the fixed histogram buckets of
-#: :mod:`repro.obs.histogram` and added the engine/batch-fill cells.
-#: Bump on any cell-layout change: every process mapping one file must
-#: agree on what each cell means (the pool forks workers from one
-#: parent, so in practice versions only meet across *code* versions —
-#: which is exactly the accident this constant is pinned against).
-STORE_FORMAT_VERSION = 2
+#: :mod:`repro.obs.histogram` and added the engine/batch-fill cells;
+#: version 3 added the ``rank-shard`` endpoint label (which shifts
+#: every per-endpoint cell block).  Bump on any cell-layout change:
+#: every process mapping one file must agree on what each cell means
+#: (the pool forks workers from one parent, so in practice versions
+#: only meet across *code* versions — which is exactly the accident
+#: this constant is pinned against).
+STORE_FORMAT_VERSION = 3
 
 #: Retained for backward compatibility (the PR 5/6 test harnesses use
 #: it to size overflow workloads).  Since format version 2 the shared

@@ -90,6 +90,58 @@ def _write_run(path: pathlib.Path, entries: Iterable[_Entry]) -> None:
             write(data)
 
 
+def pack_run_bytes(
+    labels: Sequence[str], scores: np.ndarray, base_row: int = 0
+) -> bytes:
+    """Sort one scored block with the canonical key and pack it as a run.
+
+    The returned bytes are a complete run file (same record format as
+    the spill files): the block's rows in ranking order, with global
+    row indices ``base_row + local_index`` so runs packed from disjoint
+    consecutive blocks merge into exactly the ranking a single box
+    would produce.  This is the wire format a shard ships back to the
+    coordinator.
+    """
+    scores = np.asarray(scores, dtype=float).ravel()
+    if len(labels) != scores.size:
+        raise DataValidationError(
+            f"{len(labels)} labels for {scores.size} scores"
+        )
+    base_row = int(base_row)
+    pack = _RECORD_HEAD.pack
+    parts: List[bytes] = []
+    for idx in rank_order(scores):
+        data = labels[idx].encode("utf-8")
+        parts.append(pack(-scores[idx], base_row + int(idx), len(data)))
+        parts.append(data)
+    return b"".join(parts)
+
+
+def iter_run_bytes(data: bytes, source: str = "run bytes") -> Iterator[_Entry]:
+    """Stream in-memory run-file bytes back as entries, validating shape.
+
+    Raises :class:`DataValidationError` on a truncated head or label,
+    mirroring :func:`_iter_run`'s corruption checks for on-disk runs.
+    """
+    head_size = _RECORD_HEAD.size
+    unpack_from = _RECORD_HEAD.unpack_from
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if total - offset < head_size:
+            raise DataValidationError(
+                f"truncated {source} ({total - offset} trailing bytes)"
+            )
+        neg_score, row_index, label_len = unpack_from(data, offset)
+        offset += head_size
+        if total - offset < label_len:
+            raise DataValidationError(
+                f"truncated {source} (label cut short at row {row_index})"
+            )
+        yield neg_score, row_index, data[offset:offset + label_len].decode("utf-8")
+        offset += label_len
+
+
 def _iter_run(path: pathlib.Path) -> Iterator[_Entry]:
     """Stream a run file back as entries, one record at a time.
 
@@ -275,7 +327,7 @@ class ExternalSorter:
                 self._labels[idx],
             )
 
-    def _new_run(self, entries: Iterable[_Entry]) -> pathlib.Path:
+    def _alloc_run_path(self) -> pathlib.Path:
         if self._tmpdir is None:
             self._tmpdir = tempfile.TemporaryDirectory(
                 prefix="repro-extsort-",
@@ -285,8 +337,54 @@ class ExternalSorter:
             pathlib.Path(self._tmpdir.name) / f"run-{self._next_run_id:06d}.bin"
         )
         self._next_run_id += 1
+        return path
+
+    def _new_run(self, entries: Iterable[_Entry]) -> pathlib.Path:
+        path = self._alloc_run_path()
         _write_run(path, entries)
         return path
+
+    def adopt_run_bytes(
+        self,
+        data: bytes,
+        expect_rows: Optional[int] = None,
+        source: str = "shard run",
+    ) -> int:
+        """Register an already-sorted run (e.g. shipped from a shard).
+
+        The bytes must be a complete run file in ranking order — they
+        are validated record by record (structure *and* sortedness, and
+        the row count against ``expect_rows`` when given) before being
+        written into the spill directory, so a truncated or corrupted
+        shard response is rejected instead of silently corrupting the
+        merged ranking.  Returns the number of rows adopted.
+        """
+        self._require_open("adopt_run_bytes")
+        if self._consumed:
+            raise ConfigurationError(
+                "ExternalSorter is single-use: adopt_run_bytes() after ranked()"
+            )
+        rows = 0
+        prev: Optional[Tuple[float, int]] = None
+        for neg_score, row_index, _label in iter_run_bytes(data, source):
+            key = (neg_score, row_index)
+            if prev is not None and key < prev:
+                raise DataValidationError(
+                    f"{source} is not in ranking order at row {row_index}"
+                )
+            prev = key
+            rows += 1
+        if expect_rows is not None and rows != int(expect_rows):
+            raise DataValidationError(
+                f"{source} carries {rows} rows, expected {expect_rows}"
+            )
+        if rows:
+            path = self._alloc_run_path()
+            path.write_bytes(data)
+            self._run_paths.append(path)
+            self.runs_spilled += 1
+            self.n_rows += rows
+        return rows
 
     # ------------------------------------------------------------------
     # Merge phase
@@ -315,8 +413,21 @@ class ExternalSorter:
         merged = heapq.merge(*streams) if len(streams) != 1 else streams[0]
 
         def _emit() -> Iterator[Tuple[int, str, float]]:
-            for position, (neg_score, _, label) in enumerate(merged, start=1):
-                yield position, label, -float(neg_score)
+            try:
+                for position, (neg_score, _, label) in enumerate(
+                    merged, start=1
+                ):
+                    yield position, label, -float(neg_score)
+            finally:
+                # A consumer that stops early (an aborted merge, a
+                # coordinator draining a dead shard) closes this
+                # generator; close every run-file stream *now* rather
+                # than waiting for garbage collection, so the spill
+                # directory can always be removed with no open fds.
+                for stream in streams:
+                    close = getattr(stream, "close", None)
+                    if close is not None:
+                        close()
 
         return _emit()
 

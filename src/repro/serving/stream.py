@@ -40,10 +40,13 @@ byte-identical output to the in-memory path at the same chunk size.
 
 from __future__ import annotations
 
+import contextlib
 import csv
 import gzip
 import heapq
+import os
 import pathlib
+import tempfile
 from typing import IO, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -64,6 +67,37 @@ def _open_text(path: pathlib.Path) -> IO[str]:
     if path.suffix == ".gz":
         return gzip.open(path, mode="rt", newline="")
     return path.open(newline="")
+
+
+@contextlib.contextmanager
+def atomic_output(output_path: pathlib.Path) -> Iterator[IO[str]]:
+    """Write a text file atomically: temp file, then rename on success.
+
+    The handle yielded writes to a ``<name>.*.part`` temp file in the
+    *same directory* as ``output_path`` (so the final :func:`os.replace`
+    never crosses a filesystem).  Only a clean exit publishes the file;
+    any exception unlinks the temp file instead, so a mid-stream
+    failure can never leave a torn partial output behind — the same
+    written-last discipline the model manifest uses.
+    """
+    output_path = pathlib.Path(output_path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(output_path.parent),
+        prefix=output_path.name + ".",
+        suffix=".part",
+    )
+    tmp_path = pathlib.Path(tmp_name)
+    handle = open(fd, "w", newline="")
+    try:
+        yield handle
+    except BaseException:
+        handle.close()
+        with contextlib.suppress(OSError):
+            tmp_path.unlink()
+        raise
+    else:
+        handle.close()
+        os.replace(tmp_path, output_path)
 
 
 def iter_csv_rows(
@@ -253,11 +287,16 @@ def stream_score_csv(
     fully resident.  Rows are written in input order with
     shortest-round-trip float ``repr`` (the scores reload exactly).
 
+    The output is written to a temp file beside ``output_path`` and
+    atomically renamed into place on success, so a mid-stream failure
+    (a bad row deep in the input, a scoring error) leaves no partial
+    output file behind.
+
     Returns the number of data rows scored.
     """
     output_path = pathlib.Path(output_path)
     n_scored = 0
-    with output_path.open("w", newline="") as handle:
+    with atomic_output(output_path) as handle:
         writer = csv.writer(handle, delimiter=delimiter)
         writer.writerow(["label", "score"])
         for labels, scores in iter_stream_scores(
@@ -400,8 +439,10 @@ def stream_rank_csv(
         Input CSV (``.gz`` accepted) of objects to rank.
     output_path:
         Destination for the full ranking CSV, written incrementally
-        during the merge; ``None`` skips the file (useful when only
-        the returned ``head`` is wanted).
+        during the merge to a temp file beside it and atomically
+        renamed into place on success (a failed merge leaves no torn
+        output); ``None`` skips the file (useful when only the
+        returned ``head`` is wanted).
     chunk_size, label_column, delimiter, n_jobs:
         As in :func:`iter_stream_scores`.
     backend, dtype:
@@ -458,7 +499,7 @@ def stream_rank_csv(
             )
 
             output_path = pathlib.Path(output_path)
-            with output_path.open("w", newline="") as handle:
+            with atomic_output(output_path) as handle:
                 writer = csv.writer(handle, delimiter=delimiter)
                 writer.writerow(RANKING_CSV_HEADER)
                 for position, label, score in ranked:

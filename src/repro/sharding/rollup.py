@@ -1,0 +1,145 @@
+"""Coordinator-level ``/metrics``: exact roll-up across shard daemons.
+
+This is the :class:`~repro.server.metrics.SharedMetricsStore` idea one
+level up.  Within one box, worker processes sum their mmap slots into
+fleet totals; across boxes there is no shared memory, but the same
+arithmetic works over HTTP because every mergeable series is a plain
+count: request/status/row counters add, and the latency histograms use
+the *fixed shared bucket bounds* of :mod:`repro.obs.histogram`, so
+adding two shards' bucket counts *is* the fleet histogram — exactly,
+with no percentile averaging (averaging p99s is the classic roll-up
+mistake; summing buckets and recomputing is the design reason the
+buckets replaced sample rings in PR 7).
+
+Each shard's ``GET /metrics`` JSON carries its raw buckets under the
+additive ``latency_histograms`` key (itself fleet-merged across that
+shard's worker processes when it runs ``--workers N``), so the roll-up
+composes: coordinator over shards over workers, all exact.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.histogram import (
+    HISTOGRAM_FORMAT_VERSION,
+    N_LATENCY_BUCKETS,
+    percentile_from_buckets,
+)
+from repro.server.metrics import PERCENTILES
+
+#: Top-level counters summed across shards.
+_SUM_KEYS = (
+    "requests_total",
+    "rows_scored_total",
+    "errors_total",
+    "requests_shed_total",
+)
+
+
+def fetch_shard_metrics(url: str, timeout: float = 10.0) -> dict:
+    """One shard's ``GET /metrics`` JSON payload."""
+    with urllib.request.urlopen(
+        f"{url.rstrip('/')}/metrics", timeout=timeout
+    ) as response:
+        return json.loads(response.read())
+
+
+def rollup_metrics(
+    payloads: Sequence[dict], urls: Optional[Sequence[str]] = None
+) -> dict:
+    """Merge shard ``/metrics`` payloads into one coordinator view.
+
+    Counters sum; per-endpoint status counts sum; latency percentiles
+    are recomputed from the *summed* histogram buckets (exact — see
+    the module docstring).  A shard payload missing the
+    ``latency_histograms`` key (an old daemon) still contributes its
+    counters; its latencies are simply absent from the merged
+    histogram, and the payload notes how many shards carried buckets.
+
+    Parameters
+    ----------
+    payloads:
+        One decoded ``/metrics`` JSON dict per shard (see
+        :func:`fetch_shard_metrics`).
+    urls:
+        Optional shard URLs aligned with ``payloads``, echoed in the
+        report for operators.
+    """
+    merged: dict = {key: 0 for key in _SUM_KEYS}
+    endpoint_requests: Dict[str, int] = {}
+    endpoint_status: Dict[str, Dict[str, int]] = {}
+    buckets: Dict[str, List[float]] = {}
+    sums: Dict[str, float] = {}
+    shards_with_histograms = 0
+    per_shard_requests = []
+    for payload in payloads:
+        for key in _SUM_KEYS:
+            merged[key] += int(payload.get(key, 0))
+        per_shard_requests.append(int(payload.get("requests_total", 0)))
+        for endpoint, entry in (payload.get("endpoints") or {}).items():
+            endpoint_requests[endpoint] = endpoint_requests.get(
+                endpoint, 0
+            ) + int(entry.get("requests", 0))
+            status_sums = endpoint_status.setdefault(endpoint, {})
+            for status, count in (entry.get("by_status") or {}).items():
+                status_sums[status] = status_sums.get(status, 0) + int(count)
+        histograms = payload.get("latency_histograms") or {}
+        endpoints = histograms.get("endpoints") or {}
+        if endpoints:
+            shards_with_histograms += 1
+        for endpoint, cells in endpoints.items():
+            counts = [float(count) for count in cells.get("buckets", [])]
+            if len(counts) != N_LATENCY_BUCKETS:
+                # A foreign bucket layout cannot be summed exactly;
+                # skip it rather than silently corrupt the merge.
+                continue
+            into = buckets.setdefault(endpoint, [0.0] * N_LATENCY_BUCKETS)
+            for i, count in enumerate(counts):
+                into[i] += count
+            sums[endpoint] = sums.get(endpoint, 0.0) + float(
+                cells.get("sum_seconds", 0.0)
+            )
+    endpoints_out: Dict[str, dict] = {}
+    for endpoint in sorted(endpoint_requests):
+        entry: dict = {
+            "requests": endpoint_requests[endpoint],
+            "by_status": {
+                status: count
+                for status, count in sorted(
+                    endpoint_status.get(endpoint, {}).items()
+                )
+            },
+        }
+        merged_counts = buckets.get(endpoint)
+        if merged_counts and sum(merged_counts) > 0:
+            entry["latency_ms"] = {
+                f"p{p}": float(
+                    round(
+                        percentile_from_buckets(merged_counts, p) * 1e3, 3
+                    )
+                )
+                for p in PERCENTILES
+            }
+        endpoints_out[endpoint] = entry
+    merged["endpoints"] = endpoints_out
+    merged["latency_histograms"] = {
+        "format_version": HISTOGRAM_FORMAT_VERSION,
+        "endpoints": {
+            endpoint: {
+                "buckets": [int(count) for count in counts],
+                "sum_seconds": float(sums.get(endpoint, 0.0)),
+            }
+            for endpoint, counts in sorted(buckets.items())
+        },
+    }
+    merged["shards"] = {
+        "count": len(payloads),
+        "with_histograms": shards_with_histograms,
+        "requests": per_shard_requests,
+    }
+    if urls is not None:
+        merged["shards"]["urls"] = [str(url) for url in urls]
+    return merged

@@ -389,6 +389,130 @@ class TestErrorContract:
             server.server_close()
             thread.join(timeout=5)
 
+    def test_unrouted_post_slow_drip_is_408(self, fitted, tmp_path):
+        # The drain path for *unrouted* POSTs must run under the same
+        # whole-body deadline as routed ones: a client POSTing to a
+        # 404 path and dripping its body used to pin the handler
+        # thread for as long as it pleased (the drain looped on bare
+        # reads with no deadline).
+        import socket
+        import time as _time
+
+        model, _ = fitted
+        path = tmp_path / "m.json"
+        save_model(model, path)
+        registry = ModelRegistry()
+        registry.register("m", path)
+        server = ScoringHTTPServer(
+            ("127.0.0.1", 0), registry, keepalive_timeout=0.4
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            with socket.create_connection((host, port), timeout=10) as sock:
+                sock.settimeout(10)
+                sock.sendall(
+                    b"POST /no/such/path HTTP/1.1\r\n"
+                    b"Host: x\r\nContent-Length: 4000\r\n\r\n"
+                )
+                started = _time.monotonic()
+                raw = b""
+                for _ in range(40):
+                    try:
+                        sock.sendall(b"drip")
+                    except OSError:
+                        break  # server already closed its read side
+                    _time.sleep(0.05)
+                    try:
+                        sock.settimeout(0.01)
+                        chunk = sock.recv(4096)
+                        sock.settimeout(10)
+                        if chunk:
+                            raw += chunk
+                            break
+                    except TimeoutError:
+                        sock.settimeout(10)
+                sock.settimeout(10)
+                while True:
+                    try:
+                        chunk = sock.recv(4096)
+                    except OSError:
+                        break
+                    if not chunk:
+                        break
+                    raw += chunk
+            head, _, payload = raw.partition(b"\r\n\r\n")
+            assert head.startswith(b"HTTP/1.1 408"), raw[:200]
+            assert b"timed out" in payload
+            assert _time.monotonic() - started < 5.0
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_undrained_oversize_body_closes_the_connection(self, served):
+        # An unrouted POST whose declared body exceeds MAX_BODY_BYTES
+        # is deliberately never read — so the connection must close
+        # after the 404.  Keeping it alive used to hand the unread
+        # body bytes to the keep-alive parser as the next request
+        # line: the pipelined GET below would have read a garbage
+        # response instead of being cleanly refused by EOF.
+        import socket
+
+        base, *_ = served
+        host, port = base.removeprefix("http://").split(":")
+        with socket.create_connection((host, int(port)), timeout=10) as sock:
+            sock.settimeout(10)
+            sock.sendall(
+                b"POST /no/such/path HTTP/1.1\r\n"
+                b"Host: x\r\nContent-Length: 99999999999\r\n\r\n"
+                b"GARBAGE-THAT-MUST-NOT-BECOME-A-REQUEST-LINE\r\n"
+                b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            raw = b""
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                raw += chunk
+        head, _, rest = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 404"), raw[:200]
+        # The 404 body, then EOF: the garbage was never parsed as a
+        # request (the desynced server answered it with an HTML "Bad
+        # request syntax" page), and the pipelined GET never answered.
+        (length_header,) = (
+            line for line in head.split(b"\r\n")
+            if line.lower().startswith(b"content-length:")
+        )
+        assert len(rest) == int(length_header.split(b":")[1])
+        assert b"Bad request" not in raw and b"healthz" not in raw
+
+    def test_half_sent_body_closes_the_connection(self, served):
+        # A client that declares more body than it sends leaves the
+        # drain short; responding and reusing the socket would desync
+        # framing, so the server must close after the 404.
+        import socket
+
+        base, *_ = served
+        host, port = base.removeprefix("http://").split(":")
+        with socket.create_connection((host, int(port)), timeout=10) as sock:
+            sock.settimeout(10)
+            sock.sendall(
+                b"POST /no/such/path HTTP/1.1\r\n"
+                b"Host: x\r\nContent-Length: 100\r\n\r\n"
+                b"only-ten-b"
+            )
+            sock.shutdown(socket.SHUT_WR)
+            raw = b""
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                raw += chunk
+        assert raw.startswith(b"HTTP/1.1 404"), raw[:200]
+        assert raw.count(b"HTTP/1.1 ") == 1
+
     def test_unfitted_model_is_409(self, tmp_path):
         path = tmp_path / "unfitted.json"
         save_model(RankingPrincipalCurve(alpha=ALPHA), path)

@@ -47,6 +47,7 @@ from repro.server import (
     ServerMetrics,
     SharedMetricsStore,
 )
+from repro.server.metrics import SHARED_ENDPOINTS
 from repro.obs.histogram import (
     HISTOGRAM_FORMAT_VERSION,
     LATENCY_BUCKET_BOUNDS,
@@ -202,16 +203,19 @@ class TestBatcherStatsLocking:
 
 
 class TestSharedHistogramMerge:
-    """The latency-histogram cells of the shared store (format v2)."""
+    """The latency-histogram cells of the shared store (format v3)."""
 
     def test_format_version_pins_layout(self):
-        # STORE_FORMAT_VERSION 2 == histogram cells with these bounds.
-        # Changing either the bounds or the engine cell list is a
-        # layout change: bump the version and fix this golden.
-        assert STORE_FORMAT_VERSION == 2
+        # STORE_FORMAT_VERSION 3 == histogram cells with these bounds
+        # and the rank-shard endpoint label in the cell layout.
+        # Changing the bounds, the endpoint tuple or the engine cell
+        # list is a layout change: bump the version and fix this
+        # golden.
+        assert STORE_FORMAT_VERSION == 3
         assert HISTOGRAM_FORMAT_VERSION == 1
         assert len(LATENCY_BUCKET_BOUNDS) == 32
         assert len(ENGINE_CELL_KEYS) == 11
+        assert "POST /v1/models/{name}/rank-shard" in SHARED_ENDPOINTS
 
     def test_concurrent_worker_writes_sum_exactly(self, tmp_path):
         n_slots, per_worker = 4, 500

@@ -211,6 +211,42 @@ class TestSpillFileCleanup:
                 raise KeyboardInterrupt
         assert not spill_dir.exists()
 
+    def test_abandoned_ranked_iterator_closes_run_files(self, monkeypatch):
+        """Closing (or dropping) a half-consumed ``ranked()`` iterator
+        must close every run-file stream *immediately* — the shard
+        coordinator abandons merges when a job aborts, and waiting for
+        garbage collection to finalise the readers would leave fds
+        open past the spill directory's removal."""
+        import inspect
+
+        from repro.serving import extsort
+
+        opened = []
+        real_iter_run = extsort._iter_run
+
+        def _recording_iter_run(path):
+            generator = real_iter_run(path)
+            opened.append(generator)
+            return generator
+
+        monkeypatch.setattr(extsort, "_iter_run", _recording_iter_run)
+        with ExternalSorter(memory_budget_rows=10) as sorter:
+            sorter.add(
+                [f"r{i}" for i in range(30)], np.linspace(0, 1, 30)
+            )
+            ranked = sorter.ranked()
+            assert next(ranked)[0] == 1
+            assert len(opened) == 3  # all three runs open for the merge
+            assert any(
+                inspect.getgeneratorstate(g) != "GEN_CLOSED"
+                for g in opened
+            )
+            ranked.close()  # abandon mid-merge
+            assert all(
+                inspect.getgeneratorstate(g) == "GEN_CLOSED"
+                for g in opened
+            )
+
 
 class TestSorterContract:
     def test_requires_context_manager(self):

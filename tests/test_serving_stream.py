@@ -213,6 +213,71 @@ class TestStreamScoreCsv:
         np.testing.assert_array_equal(
             written, score_batch(model, X, chunk_size=50)
         )
+        assert list(tmp_path.iterdir()) == [out]  # no stray temp files
+
+
+class TestAtomicOutput:
+    """A mid-stream failure must never publish a torn output file."""
+
+    @pytest.fixture()
+    def poisoned(self, workload, tmp_path):
+        """A CSV whose *third* chunk (chunk_size=10) fails validation,
+        after earlier chunks have already been scored and written."""
+        _, _, csv_path, *_ = workload
+        bad = tmp_path / "poisoned.csv"
+        lines = csv_path.read_text().splitlines()
+        lines[25] = lines[25].rsplit(",", 1)[0] + ",not-a-number"
+        bad.write_text("\n".join(lines) + "\n")
+        return bad
+
+    def test_failed_score_leaves_no_output(self, workload, poisoned, tmp_path):
+        model, *_ = workload
+        out = tmp_path / "scores.csv"
+        with pytest.raises(DataValidationError):
+            stream_score_csv(
+                model, poisoned, out, chunk_size=10, label_column="id"
+            )
+        # Neither the output nor its .part temp file survives: the
+        # pre-fix streaming path wrote the final file in place and a
+        # failure left a torn prefix behind.
+        assert not out.exists()
+        assert [p.name for p in tmp_path.iterdir()] == ["poisoned.csv"]
+
+    def test_failed_rank_leaves_no_output(self, workload, poisoned, tmp_path):
+        from repro.serving import stream_rank_csv
+
+        model, *_ = workload
+        out = tmp_path / "ranking.csv"
+        with pytest.raises(DataValidationError):
+            stream_rank_csv(
+                model, poisoned, out, chunk_size=10, label_column="id"
+            )
+        assert not out.exists()
+        assert [p.name for p in tmp_path.iterdir()] == ["poisoned.csv"]
+
+    def test_failure_mid_rank_write_leaves_no_output(
+        self, workload, tmp_path, monkeypatch
+    ):
+        # Fail *while the merged ranking is being written* — half the
+        # rows are already in the temp file when the fault lands, the
+        # moment the pre-fix code left a torn prefix at output_path.
+        import repro.data.loaders as loaders
+        from repro.serving import stream_rank_csv
+
+        model, _, csv_path, *_ = workload
+        real_row = loaders.ranking_csv_row
+
+        def _faulting_row(position, label, score):
+            if position > N_ROWS // 2:
+                raise RuntimeError("injected mid-write fault")
+            return real_row(position, label, score)
+
+        monkeypatch.setattr(loaders, "ranking_csv_row", _faulting_row)
+        out = tmp_path / "ranking.csv"
+        with pytest.raises(RuntimeError, match="injected"):
+            stream_rank_csv(model, csv_path, out, label_column="id")
+        assert not out.exists()
+        assert list(tmp_path.iterdir()) == []
 
 
 class TestCliStream:
